@@ -1,0 +1,27 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one paper artifact (table/figure) exactly
+once per session (``pedantic`` with a single round — these are experiment
+reproductions, not micro-benchmarks) and writes the rendered artifact to
+``results/`` so the repository keeps a copy of the regenerated tables.
+
+Set ``REPRO_EPISODES`` to scale down learning episode counts (paper: 100).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir, name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to the test log."""
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to results/{name}]")

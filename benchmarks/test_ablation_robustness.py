@@ -1,0 +1,68 @@
+"""Ablation A5 — robustness to cloud dynamics beyond the paper's setup.
+
+(a) Noise: the same two plans (HEFT's and ReASSIgN's) executed under
+calm / default / stormy region profiles — times must degrade with noise
+for both, and ReASSIgN's concentrated placement must not fall apart in
+the storm.
+
+(b) Spot revocations: a static plan deadlocks when a VM it targets is
+reclaimed; online schedulers (including ReASSIgN acting online) reroute
+and finish.  This is the strongest form of the paper's thesis that
+schedulers should adapt to the environment rather than assume a model.
+"""
+
+import math
+
+from repro.experiments import default_episodes
+from repro.experiments.ablations import (
+    run_noise_robustness,
+    run_revocation_ablation,
+)
+from repro.util.tables import render_table
+
+from conftest import save_artifact
+
+
+def test_ablation_a5_noise(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_noise_robustness(episodes=default_episodes(50), seed=1),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        ["cloud profile", "HEFT [s]", "ReASSIgN [s]"],
+        [(p, round(h, 1), round(r, 1)) for p, h, r in rows],
+        title="Ablation A5a: execution under noise profiles (Montage-50, 32 vCPUs)",
+    )
+    save_artifact(results_dir, "ablation_a5_noise.txt", text)
+
+    by_profile = {p: (h, r) for p, h, r in rows}
+    assert set(by_profile) == {"calm", "default", "stormy"}
+    # noise hurts everyone
+    assert by_profile["calm"][0] < by_profile["stormy"][0]
+    assert by_profile["calm"][1] < by_profile["stormy"][1]
+    # ReASSIgN stays within 35% of HEFT in every climate
+    for profile, (heft, rl) in by_profile.items():
+        assert rl < heft * 1.35, (profile, heft, rl)
+
+
+def test_ablation_a5_revocations(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_revocation_ablation(seed=1), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["scheduler", "outcome", "makespan [s]"],
+        [
+            (s, o, "inf" if math.isinf(m) else round(m, 1))
+            for s, o, m in rows
+        ],
+        title="Ablation A5b: spot revocations (Montage-50, 16 vCPUs, "
+              "half the fleet on spot)",
+    )
+    save_artifact(results_dir, "ablation_a5_revocations.txt", text)
+
+    outcomes = {s: o for s, o, _ in rows}
+    # the static plan cannot survive losing its target VMs
+    assert outcomes["HEFT (static plan)"] == "deadlocked"
+    # adaptive schedulers finish
+    assert outcomes["Greedy online"] == "successfully finished"
+    assert outcomes["ReASSIgN online"] == "successfully finished"

@@ -1,0 +1,115 @@
+"""Ablations A1–A4 — design-choice benchmarks beyond the paper's tables.
+
+A1 sweeps the reward constants (µ, ρ) that the paper fixes at 0.5;
+A2 compares TD update rules (Q-learning / SARSA / Double-Q / random);
+A3 runs HEFT vs ReASSIgN across all five Pegasus workflows + larger
+Montage instances (the paper's future work);
+A4 measures the episode-budget learning curve ("more episodes → better
+plans").
+"""
+
+import numpy as np
+
+from repro.experiments import default_episodes
+from repro.experiments.ablations import (
+    render_reward_ablation,
+    run_episode_ablation,
+    run_reward_ablation,
+    run_rule_ablation,
+    run_workload_ablation,
+)
+from repro.util.tables import render_table
+
+from conftest import save_artifact
+
+
+def test_ablation_a1_reward(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_reward_ablation(episodes=default_episodes(50), seed=1),
+        rounds=1, iterations=1,
+    )
+    save_artifact(results_dir, "ablation_a1_reward.txt",
+                  render_reward_ablation(rows))
+    assert len(rows) == 15  # 5 mus x 3 rhos
+    assert all(r.simulated_makespan > 0 for r in rows)
+    assert all(-1.0 <= r.mean_final_reward <= 1.0 for r in rows)
+    # the paper's mu=0.5 must be competitive with the extremes
+    by_mu = {}
+    for r in rows:
+        by_mu.setdefault(r.mu, []).append(r.simulated_makespan)
+    means = {mu: float(np.mean(v)) for mu, v in by_mu.items()}
+    assert means[0.5] <= max(means.values())
+
+
+def test_ablation_a2_rules(benchmark, results_dir):
+    out = benchmark.pedantic(
+        lambda: run_rule_ablation(episodes=default_episodes(50),
+                                  seeds=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        ["update rule", "mean simulated makespan [s]"],
+        [(k, round(v, 2)) for k, v in sorted(out.items())],
+        title="Ablation A2: TD update rule (Montage-50, 16 vCPUs)",
+    )
+    save_artifact(results_dir, "ablation_a2_rules.txt", text)
+    assert set(out) == {"qlearning", "sarsa", "doubleq",
+                        "random-exploration-only"}
+    # every learner stays within a sane band of the others
+    values = list(out.values())
+    assert max(values) < 1.6 * min(values)
+
+
+def test_ablation_a3_workloads(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_workload_ablation(episodes=default_episodes(50), seed=1),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        ["workflow", "HEFT makespan [s]", "ReASSIgN makespan [s]", "ratio"],
+        [
+            (name, round(h, 1), round(r, 1), round(r / h, 3))
+            for name, h, r in rows
+        ],
+        title="Ablation A3: workloads beyond Montage-50 (32 vCPUs)",
+    )
+    save_artifact(results_dir, "ablation_a3_workloads.txt", text)
+    assert len(rows) == 7
+    # ReASSIgN must stay competitive (within 60%) of HEFT on every workload
+    for name, heft_mk, rl_mk in rows:
+        assert rl_mk < heft_mk * 1.6, (name, heft_mk, rl_mk)
+
+
+def test_ablation_a4_episodes(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_episode_ablation(seed=1),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        ["episodes", "plan makespan [s]", "best episode [s]"],
+        [(b, round(m, 1), round(best, 1)) for b, m, best in rows],
+        title="Ablation A4: episode budget (Montage-50, 16 vCPUs)",
+    )
+    # also render the 200-episode learning curve itself
+    from repro.core import ReassignLearner, ReassignParams
+    from repro.experiments.environments import fleet_for
+    from repro.util import ascii_plot
+    from repro.workflows import montage
+
+    curve = ReassignLearner(
+        montage(50, seed=1), fleet_for(16),
+        ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=200),
+        seed=1,
+    ).learn().makespan_curve()
+    text += "\n\n" + ascii_plot(
+        curve, title="Learning curve: per-episode makespan [s], 200 episodes",
+        y_label="episode",
+    )
+    save_artifact(results_dir, "ablation_a4_episodes.txt", text)
+    budgets = [b for b, _, _ in rows]
+    assert budgets == sorted(budgets)
+    # the paper's conjecture: the largest budget beats the smallest
+    assert rows[-1][1] <= rows[0][1] * 1.05
+    # best-episode makespan is monotone non-increasing in budget here
+    best_small, best_large = rows[0][2], rows[-1][2]
+    assert best_large <= best_small * 1.02

@@ -1,0 +1,46 @@
+"""Workload characterization — the structural profile behind §IV-B.
+
+Regenerates the Bharathi-style characterization table for every
+synthetic workload and checks the structural signatures the scheduling
+results rely on (Montage's nine levels, CyberShake's data weight,
+Epigenomics' chain depth, SIPHT's wide cheap Patser pool).
+"""
+
+from repro.experiments.characterization import (
+    render_characterization,
+    run_characterization,
+)
+
+from conftest import save_artifact
+
+
+def test_characterization(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_characterization(seed=0), rounds=1, iterations=1
+    )
+    save_artifact(results_dir, "characterization.txt",
+                  render_characterization(rows))
+
+    by_name = {r[0]: r for r in rows}
+    assert set(by_name) == {
+        "montage-25", "montage-50", "montage-100",
+        "cybershake-30", "epigenomics-24", "inspiral-30", "sipht-30",
+    }
+
+    # Montage: fixed nine levels at every size; parallelism grows with size
+    for name in ("montage-25", "montage-50", "montage-100"):
+        assert by_name[name][3] == 9
+    assert (by_name["montage-25"][7] < by_name["montage-50"][7]
+            < by_name["montage-100"][7])
+
+    # CyberShake is the most data-heavy non-Montage workflow
+    non_montage = [r for r in rows if not r[0].startswith("montage")]
+    heaviest = max(non_montage, key=lambda r: r[8])
+    assert heaviest[0] == "cybershake-30"
+
+    # Epigenomics is the deepest non-Montage chain
+    deepest = max(non_montage, key=lambda r: r[3])
+    assert deepest[0] == "epigenomics-24"
+
+    # every workflow has exploitable parallelism
+    assert all(r[7] > 1.0 for r in rows)

@@ -1,0 +1,109 @@
+"""Cross-scheduler comparison — the library-wide leaderboard artifact.
+
+Not a paper table, but the natural extension of its HEFT-vs-ReASSIgN
+framing: every scheduler in the library on every benchmark workflow,
+same throttle-aware simulator.  Assertions pin the sanity ordering the
+literature predicts: the informed heuristics (HEFT/CPOP/Min-Min family)
+beat the blind ones (OLB, FCFS, Random) on the throttling-free metric of
+each workload's column minimum, and ReASSIgN stays competitive.
+"""
+
+import numpy as np
+
+from repro.core import ReassignLearner, ReassignParams
+from repro.experiments import default_episodes
+from repro.schedulers import (
+    BudgetConstrainedScheduler,
+    CpopScheduler,
+    FcfsScheduler,
+    GreedyOnlineScheduler,
+    HeftScheduler,
+    LocalityScheduler,
+    MaxMinScheduler,
+    MctScheduler,
+    MinMinScheduler,
+    OlbScheduler,
+    PlanFollowingScheduler,
+    RandomScheduler,
+    SufferageScheduler,
+)
+from repro.sim import BurstThrottleFluctuation, WorkflowSimulator, t2_fleet
+from repro.util.tables import render_table
+from repro.workflows import available_workflows, make_workflow
+
+from conftest import save_artifact
+
+INFORMED = ("HEFT", "CPOP", "Min-Min", "Max-Min", "Sufferage", "MCT")
+BLIND = ("OLB", "FCFS", "Random")
+
+
+def _run_matrix(episodes: int):
+    fleet = t2_fleet(8, 3)
+    throttle = BurstThrottleFluctuation(credit_seconds=240.0,
+                                        throttle_factor=1.7)
+    workloads = {name: make_workflow(name, seed=2)
+                 for name in available_workflows()}
+
+    matrix = {}
+
+    def record(label, name, makespan):
+        matrix.setdefault(label, {})[name] = makespan
+
+    static = [HeftScheduler(), CpopScheduler(), MinMinScheduler(),
+              MaxMinScheduler(), SufferageScheduler(), MctScheduler(),
+              OlbScheduler(), BudgetConstrainedScheduler(budget_factor=0.5)]
+    for scheduler in static:
+        for name, wf in workloads.items():
+            plan = scheduler.plan(wf, fleet)
+            result = WorkflowSimulator(
+                wf, fleet, PlanFollowingScheduler(plan),
+                fluctuation=throttle, seed=0,
+            ).run()
+            record(scheduler.name, name, result.makespan)
+
+    online = [("FCFS", FcfsScheduler), ("Greedy", GreedyOnlineScheduler),
+              ("Locality", LocalityScheduler),
+              ("Random", lambda: RandomScheduler(seed=9))]
+    for label, factory in online:
+        for name, wf in workloads.items():
+            result = WorkflowSimulator(
+                wf, fleet, factory(), fluctuation=throttle, seed=0,
+            ).run()
+            record(label, name, result.makespan)
+
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1,
+                            episodes=episodes)
+    for name, wf in workloads.items():
+        result = ReassignLearner(wf, fleet, params, seed=4).learn()
+        record("ReASSIgN", name, result.simulated_makespan)
+    return matrix
+
+
+def test_scheduler_comparison(benchmark, results_dir):
+    matrix = benchmark.pedantic(
+        lambda: _run_matrix(default_episodes(50)), rounds=1, iterations=1
+    )
+    names = available_workflows()
+    rows = [
+        [label] + [round(matrix[label][n], 1) for n in names]
+        for label in sorted(matrix)
+    ]
+    text = render_table(["Scheduler"] + names, rows,
+                        title="Scheduler leaderboard: makespan [s], 32 vCPUs")
+    save_artifact(results_dir, "scheduler_comparison.txt", text)
+
+    # informed heuristics beat blind dispatch on average
+    informed_mean = np.mean(
+        [matrix[s][n] for s in INFORMED for n in names]
+    )
+    blind_mean = np.mean([matrix[s][n] for s in BLIND for n in names])
+    assert informed_mean <= blind_mean
+
+    # ReASSIgN stays within 35% of the per-workload best.  The slack is
+    # real, not defensive: with the paper's full-history reward the
+    # signal goes stale on chain-heavy workloads and late episodes lock
+    # into degraded placements (ablation A11 quantifies this and the
+    # "episode" reward memory that fixes it).
+    for name in names:
+        best = min(matrix[label][name] for label in matrix)
+        assert matrix["ReASSIgN"][name] <= best * 1.35, (name, best)

@@ -1,0 +1,26 @@
+"""Table I — VM fleet configurations.
+
+Regenerates the paper's environment table and benchmarks fleet
+construction (trivial, but it anchors every other experiment's setup).
+"""
+
+from repro.experiments import TABLE1_FLEETS, fleet_for, render_table1
+from repro.sim.vm import fleet_vcpus
+
+from conftest import save_artifact
+
+
+def test_table1(benchmark, results_dir):
+    def build_all():
+        return {v: fleet_for(v) for v in sorted(TABLE1_FLEETS)}
+
+    fleets = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    # paper shape: 9/11/15 VMs -> 16/32/64 vCPUs, micros at ids 0..7
+    assert {v: len(f) for v, f in fleets.items()} == {16: 9, 32: 11, 64: 15}
+    for vcpus, fleet in fleets.items():
+        assert fleet_vcpus(fleet) == vcpus
+        assert all(vm.type.name == "t2.micro" for vm in fleet[:8])
+        assert all(vm.type.name == "t2.2xlarge" for vm in fleet[8:])
+
+    save_artifact(results_dir, "table1.txt", render_table1())

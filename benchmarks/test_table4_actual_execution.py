@@ -1,0 +1,60 @@
+"""Table IV — actual execution time of Montage on the (simulated) cloud.
+
+HEFT vs ReASSIgN (γ = 1.0, ε = 0.1, α ∈ {0.1, 0.5, 1.0}) per Table-I
+fleet, executed by SciCumulus-RL's MPI engine on the noisy simulated AWS
+region.  Paper shape: all runs land in the same few-minute band, HEFT
+wins narrowly on the 16-vCPU fleet, and ReASSIgN configurations win on
+the larger fleets — the learned concentrate-on-the-2xlarge placement
+avoids micro-instance burst throttling that HEFT's static cost model
+cannot see.  Margins in the paper are ~5-15%, i.e. noise-adjacent, so
+the assertions check the band and the aggregate ordering rather than
+every row.
+"""
+
+import numpy as np
+
+from repro.experiments import default_episodes, run_table4
+from repro.experiments.table4 import render_table4
+
+from conftest import save_artifact
+
+
+def test_table4(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_table4(episodes=default_episodes(100), seed=1),
+        rounds=1, iterations=1,
+    )
+    save_artifact(results_dir, "table4.txt", render_table4(rows))
+
+    by_fleet = {}
+    for r in rows:
+        by_fleet.setdefault(r.vcpus, []).append(r)
+    assert set(by_fleet) == {16, 32, 64}
+    assert all(len(v) == 4 for v in by_fleet.values())
+
+    # all execution times live in the same few-minute band (paper: 3-4 min)
+    times = [r.total_execution_time for r in rows]
+    assert max(times) < 3 * min(times)
+
+    # aggregate ordering: over the two big fleets, the best ReASSIgN
+    # configuration beats HEFT (the paper's 32/64-vCPU crossover)
+    wins = 0
+    for vcpus in (32, 64):
+        heft = next(r for r in by_fleet[vcpus] if r.algorithm == "HEFT")
+        best_rl = min(
+            (r for r in by_fleet[vcpus] if r.algorithm == "ReASSIgN"),
+            key=lambda r: r.total_execution_time,
+        )
+        if best_rl.total_execution_time < heft.total_execution_time:
+            wins += 1
+    assert wins >= 1, "ReASSIgN should win on at least one large fleet"
+
+    # and overall the two schedulers stay close (the paper's margins are
+    # single-digit percent): mean RL time within 25% of mean HEFT time
+    heft_mean = np.mean(
+        [r.total_execution_time for r in rows if r.algorithm == "HEFT"]
+    )
+    rl_mean = np.mean(
+        [r.total_execution_time for r in rows if r.algorithm == "ReASSIgN"]
+    )
+    assert abs(rl_mean - heft_mean) / heft_mean < 0.25

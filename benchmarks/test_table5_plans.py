@@ -1,0 +1,49 @@
+"""Table V — the activation→VM scheduling plans for 16 vCPUs.
+
+Dumps the full 50-row plan table (HEFT vs C1/C2/C3) and checks the
+paper's qualitative observations:
+
+- HEFT "distributes the initial activations sequentially among the
+  available virtual machines" — its entry activations cover most of the
+  nine VMs;
+- the ReASSIgN plans show "the predominance of schedules ... in the VM
+  type 2xLarge" — each C plan places a larger share of activations on
+  VM 8 than HEFT does.
+"""
+
+from repro.experiments import default_episodes, run_table5
+from repro.experiments.table5 import render_table5
+from repro.workflows import montage
+
+from conftest import save_artifact
+
+
+def test_table5(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table5(episodes=default_episodes(100), seed=1),
+        rounds=1, iterations=1,
+    )
+    save_artifact(results_dir, "table5.txt", render_table5(result))
+
+    wf = montage(50, seed=1)
+    heft = result.plans["HEFT"]
+
+    # every plan covers all 50 activations on VMs 0..8
+    for label, plan in result.plans.items():
+        assert sorted(plan.assignment) == list(range(50)), label
+        assert set(plan.assignment.values()) <= set(range(9)), label
+
+    # HEFT spreads the entry activations across the fleet
+    entry_vms = {heft.vm_of(i) for i in wf.entries()}
+    assert len(entry_vms) >= 7, (
+        f"HEFT should spread entries over the VMs, used only {entry_vms}"
+    )
+
+    # ReASSIgN plans concentrate on the 2xlarge (VM 8)
+    heft_share = result.vm_share_on_big("HEFT")
+    for label in ("C1", "C2", "C3"):
+        share = result.vm_share_on_big(label)
+        assert share > heft_share, (
+            f"{label} should place more work on VM 8 than HEFT "
+            f"({share:.2f} vs {heft_share:.2f})"
+        )

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Study how (α, γ, ε) affect ReASSIgN — a miniature of Tables II/III.
+
+Sweeps the paper's parameter grid on the 16-vCPU fleet and prints the
+learning-time and simulated-makespan tables, then summarizes which
+settings win — the shapes to look for:
+
+- ε = 0.1 (mostly exploitation, textbook convention) dominates, and
+  makespans degrade as ε grows toward fully-random behaviour — the
+  pattern visible in the paper's own Table III numbers;
+- γ columns are nearly flat: with a single aggregated workflow state the
+  bootstrap term cancels across actions (see EXPERIMENTS.md);
+- slower α tends to help ("a longer history contains good information").
+
+Run:  python examples/parameter_study.py [episodes] [grid_csv]
+e.g.  python examples/parameter_study.py 50 0.1,0.5,1.0
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.experiments.sweeps import run_paper_sweep
+
+
+def main(episodes: int = 50, grid=(0.1, 0.5, 1.0)) -> None:
+    sweep = run_paper_sweep(
+        vcpu_fleets=(16,), episodes=episodes, seed=3, grid=grid
+    )
+    print(sweep.render_table2())
+    print()
+    print(sweep.render_table3())
+
+    records = sweep.records[16]
+    by_gamma = defaultdict(list)
+    by_epsilon = defaultdict(list)
+    for r in records:
+        by_gamma[r.gamma].append(r.simulated_makespan)
+        by_epsilon[r.epsilon].append(r.simulated_makespan)
+
+    print("\nMean simulated makespan by gamma:")
+    for g in sorted(by_gamma):
+        vals = by_gamma[g]
+        print(f"  gamma={g:g}: {sum(vals) / len(vals):8.2f}s")
+    print("Mean simulated makespan by epsilon:")
+    for e in sorted(by_epsilon):
+        vals = by_epsilon[e]
+        print(f"  epsilon={e:g}: {sum(vals) / len(vals):8.2f}s")
+
+    best = min(records, key=lambda r: r.simulated_makespan)
+    print(f"\nBest cell: alpha={best.alpha:g} gamma={best.gamma:g} "
+          f"epsilon={best.epsilon:g} -> {best.simulated_makespan:.2f}s")
+
+
+if __name__ == "__main__":
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    grid = (
+        tuple(float(x) for x in sys.argv[2].split(","))
+        if len(sys.argv) > 2
+        else (0.1, 0.5, 1.0)
+    )
+    main(episodes, grid)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare every scheduler in the library across all five workflows.
+
+Extends the paper's HEFT-vs-ReASSIgN comparison with the other classic
+heuristics its introduction cites (Min-Min, Max-Min, ...) and the whole
+Pegasus workflow suite — the paper's "other workflows" future work.
+All plans/policies are judged in the same throttle-aware simulator.
+
+Run:  python examples/scheduler_shootout.py [episodes]
+"""
+
+import sys
+
+from repro.core import ReassignLearner, ReassignParams
+from repro.schedulers import (
+    BudgetConstrainedScheduler,
+    CpopScheduler,
+    FcfsScheduler,
+    GreedyOnlineScheduler,
+    HeftScheduler,
+    LocalityScheduler,
+    MaxMinScheduler,
+    MctScheduler,
+    MinMinScheduler,
+    OlbScheduler,
+    PlanFollowingScheduler,
+    RandomScheduler,
+    SufferageScheduler,
+)
+from repro.sim import BurstThrottleFluctuation, WorkflowSimulator, t2_fleet
+from repro.util.tables import render_table
+from repro.workflows import available_workflows, make_workflow
+
+
+def main(episodes: int = 50) -> None:
+    fleet = t2_fleet(8, 3)  # 32 vCPUs
+    throttle = BurstThrottleFluctuation(credit_seconds=240.0, throttle_factor=1.7)
+
+    static = [
+        HeftScheduler(),
+        CpopScheduler(),
+        MinMinScheduler(),
+        MaxMinScheduler(),
+        SufferageScheduler(),
+        MctScheduler(),
+        OlbScheduler(),
+        BudgetConstrainedScheduler(budget_factor=0.5),
+    ]
+    online = [
+        ("FCFS", FcfsScheduler),
+        ("Greedy-MCT", GreedyOnlineScheduler),
+        ("Locality", LocalityScheduler),
+        ("Random", lambda: RandomScheduler(seed=9)),
+    ]
+
+    headers = ["Scheduler"] + available_workflows()
+    rows = []
+    columns = {}
+    for name in available_workflows():
+        columns[name] = make_workflow(name, seed=2)
+
+    for scheduler in static:
+        row = [scheduler.name]
+        for name in available_workflows():
+            wf = columns[name]
+            plan = scheduler.plan(wf, fleet)
+            sim = WorkflowSimulator(wf, fleet, PlanFollowingScheduler(plan),
+                                    fluctuation=throttle, seed=0)
+            row.append(round(sim.run().makespan, 1))
+        rows.append(row)
+
+    for label, factory in online:
+        row = [label]
+        for name in available_workflows():
+            wf = columns[name]
+            sim = WorkflowSimulator(wf, fleet, factory(),
+                                    fluctuation=throttle, seed=0)
+            row.append(round(sim.run().makespan, 1))
+        rows.append(row)
+
+    row = ["ReASSIgN"]
+    for name in available_workflows():
+        wf = columns[name]
+        params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1,
+                                episodes=episodes)
+        result = ReassignLearner(wf, fleet, params, seed=4).learn()
+        row.append(round(result.simulated_makespan, 1))
+    rows.append(row)
+
+    print(render_table(headers, rows,
+                       title="Makespan [s] on 32 vCPUs (throttle-aware simulator)"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 50)

@@ -1,0 +1,61 @@
+"""repro — a reproduction of *"A Reinforcement Learning Scheduling Strategy
+for Parallel Cloud-based Workflows"* (Nascimento et al., IPPS/IPDPS-W 2019).
+
+The package implements the paper's entire stack from scratch:
+
+- :mod:`repro.dag` — the workflow model (activities, activations, files,
+  the DAG, Pegasus DAX I/O);
+- :mod:`repro.workflows` — synthetic Pegasus benchmark workflows
+  (Montage — the paper's workload — plus CyberShake, Epigenomics,
+  Inspiral, SIPHT);
+- :mod:`repro.sim` — a discrete-event cloud workflow simulator (the
+  WorkflowSim substitute) with transfer, fluctuation, failure and
+  live-migration models;
+- :mod:`repro.schedulers` — HEFT (the paper's baseline) and the classic
+  heuristics, plus the online-scheduler interface;
+- :mod:`repro.rl` — tabular Q-learning/SARSA/Double-Q, policies and the
+  paper's §III-B reward function;
+- :mod:`repro.core` — **ReASSIgN** itself (Algorithm 2) and the parameter
+  sweep;
+- :mod:`repro.scicumulus` — the SciCumulus-RL execution stage: simulated
+  AWS cloud, simulated MPI master/slave engine, SQLite provenance;
+- :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro.workflows import montage
+    from repro.sim import t2_fleet
+    from repro.core import ReassignLearner, ReassignParams
+
+    wf = montage(50, seed=1)                      # the paper's 50-node DAX
+    fleet = t2_fleet(n_micro=8, n_2xlarge=1)      # Table I, 16 vCPUs
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=100)
+    result = ReassignLearner(wf, fleet, params, seed=7).learn()
+    print(result.plan.assignment)                 # activation id -> VM id
+"""
+
+from repro.core import ReassignLearner, ReassignParams, ReassignScheduler
+from repro.dag import Activation, ActivationState, File, Workflow
+from repro.schedulers import HeftScheduler, SchedulingPlan
+from repro.sim import WorkflowSimulator, t2_fleet
+from repro.workflows import make_workflow, montage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReassignLearner",
+    "ReassignParams",
+    "ReassignScheduler",
+    "Activation",
+    "ActivationState",
+    "File",
+    "Workflow",
+    "HeftScheduler",
+    "SchedulingPlan",
+    "WorkflowSimulator",
+    "t2_fleet",
+    "make_workflow",
+    "montage",
+    "__version__",
+]

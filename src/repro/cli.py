@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands cover the library's main entry points so the paper's
+experiments can be driven without writing Python:
+
+- ``workflow``  — generate a benchmark workflow, print its profile,
+  optionally export it as Pegasus DAX or SciCumulus XML;
+- ``simulate``  — run one scheduler on a workflow/fleet in the simulator
+  and print the result (optionally a Gantt chart);
+- ``learn``     — run ReASSIgN (Algorithm 2) and print/save the plan;
+- ``pipeline``  — the full SciCumulus-RL pipeline (learn + execute on the
+  simulated cloud, with provenance);
+- ``table``     — regenerate one of the paper's tables (1-5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.reassign import ReassignLearner, ReassignParams
+from repro.dag.analysis import profile_dag
+from repro.dag.dax import write_dax
+from repro.experiments.environments import fleet_for, fleet_spec_for, render_table1
+from repro.schedulers import (
+    FcfsScheduler,
+    GreedyOnlineScheduler,
+    HeftScheduler,
+    MaxMinScheduler,
+    MctScheduler,
+    MinMinScheduler,
+    OlbScheduler,
+    PlanFollowingScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SufferageScheduler,
+)
+from repro.scicumulus.swfms import SciCumulusRL
+from repro.scicumulus.xml_spec import workflow_to_xml
+from repro.sim.simulator import WorkflowSimulator
+from repro.sim.trace import gantt_text
+from repro.util.tables import format_hms, render_table
+from repro.workflows.registry import available_workflows, make_workflow
+
+__all__ = ["main", "build_parser"]
+
+_STATIC = {
+    "heft": HeftScheduler,
+    "minmin": MinMinScheduler,
+    "maxmin": MaxMinScheduler,
+    "sufferage": SufferageScheduler,
+    "mct": MctScheduler,
+    "olb": OlbScheduler,
+}
+_ONLINE = {
+    "fcfs": FcfsScheduler,
+    "roundrobin": RoundRobinScheduler,
+    "random": lambda: RandomScheduler(seed=0),
+    "greedy": GreedyOnlineScheduler,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReASSIgN reproduction: RL scheduling of cloud workflows",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workflow_args(p):
+        p.add_argument("--workflow", default="montage",
+                       choices=available_workflows())
+        p.add_argument("--size", type=int, default=None,
+                       help="exact activation count (default: benchmark size)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("workflow", help="generate/describe a workflow")
+    add_workflow_args(p)
+    p.add_argument("--dax", metavar="PATH", help="write Pegasus DAX here")
+    p.add_argument("--xml", metavar="PATH", help="write SciCumulus XML here")
+
+    p = sub.add_parser("simulate", help="run one scheduler in the simulator")
+    add_workflow_args(p)
+    p.add_argument("--scheduler", default="heft",
+                   choices=sorted(_STATIC) + sorted(_ONLINE))
+    p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
+    p.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+
+    p = sub.add_parser("learn", help="run ReASSIgN (Algorithm 2)")
+    add_workflow_args(p)
+    p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.add_argument("--gamma", type=float, default=1.0)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--episodes", type=int, default=100)
+    p.add_argument("--plan-out", metavar="PATH", help="write plan JSON here")
+
+    p = sub.add_parser("pipeline", help="full SciCumulus-RL pipeline")
+    add_workflow_args(p)
+    p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
+    p.add_argument("--scheduler", default="reassign",
+                   choices=["reassign"] + sorted(_STATIC))
+    p.add_argument("--episodes", type=int, default=100)
+    p.add_argument("--provenance", metavar="PATH",
+                   help="SQLite provenance DB path (default in-memory)")
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    p.add_argument("--episodes", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("reproduce",
+                       help="run every experiment and write a report")
+    p.add_argument("--out", default="results", metavar="DIR")
+    p.add_argument("--episodes", type=int, default=0,
+                   help="0 = REPRO_EPISODES env or the paper's 100")
+    p.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def _cmd_workflow(args) -> int:
+    wf = make_workflow(args.workflow, args.size, seed=args.seed)
+    profile = profile_dag(wf)
+    print(render_table(["property", "value"], profile.rows(),
+                       title=f"Workflow profile: {wf.name}"))
+    if args.dax:
+        write_dax(wf, args.dax)
+        print(f"wrote DAX to {args.dax}")
+    if args.xml:
+        workflow_to_xml(wf, args.xml)
+        print(f"wrote SciCumulus XML to {args.xml}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    wf = make_workflow(args.workflow, args.size, seed=args.seed)
+    fleet = fleet_for(args.vcpus)
+    if args.scheduler in _STATIC:
+        plan = _STATIC[args.scheduler]().plan(wf, fleet)
+        scheduler = PlanFollowingScheduler(plan)
+    else:
+        scheduler = _ONLINE[args.scheduler]()
+    result = WorkflowSimulator(wf, fleet, scheduler, seed=args.seed).run()
+    print(f"scheduler={args.scheduler} workflow={wf.name} "
+          f"vcpus={args.vcpus}")
+    print(f"state={result.final_state}")
+    print(f"makespan={result.makespan:.2f}s ({format_hms(result.makespan)})")
+    print(f"cost=${result.cost():.4f} (hourly billing)")
+    if args.gantt:
+        print(gantt_text(result))
+    return 0 if result.succeeded else 1
+
+
+def _cmd_learn(args) -> int:
+    wf = make_workflow(args.workflow, args.size, seed=args.seed)
+    fleet = fleet_for(args.vcpus)
+    params = ReassignParams(alpha=args.alpha, gamma=args.gamma,
+                            epsilon=args.epsilon, episodes=args.episodes)
+    result = ReassignLearner(wf, fleet, params, seed=args.seed).learn()
+    print(f"learned {wf.name} on {args.vcpus} vCPUs [{params.label()}]")
+    print(f"learning time     = {result.learning_time:.2f}s "
+          f"({result.n_episodes} episodes)")
+    print(f"first episode     = {result.episodes[0].makespan:.2f}s")
+    print(f"best episode      = {result.best_episode.makespan:.2f}s")
+    print(f"plan makespan     = {result.simulated_makespan:.2f}s")
+    if args.plan_out:
+        with open(args.plan_out, "w", encoding="utf-8") as fh:
+            fh.write(result.plan.to_json())
+        print(f"wrote plan to {args.plan_out}")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.scicumulus.provenance import ProvenanceStore
+
+    wf = make_workflow(args.workflow, args.size, seed=args.seed)
+    store = ProvenanceStore(args.provenance) if args.provenance else None
+    swfms = SciCumulusRL(provenance=store, seed=args.seed)
+    spec = fleet_spec_for(args.vcpus)
+    if args.scheduler == "reassign":
+        report = swfms.run_workflow(
+            wf, spec, "reassign",
+            ReassignParams(episodes=args.episodes),
+        )
+    else:
+        report = swfms.run_workflow(wf, spec, _STATIC[args.scheduler]())
+    print(f"scheduler        = {report.scheduler}")
+    print(f"fleet            = {report.fleet}")
+    print(f"deploy time      = {report.deploy_time:.1f}s")
+    if report.learning_time:
+        print(f"learning time    = {report.learning_time:.2f}s")
+        print(f"sim makespan     = {report.simulated_makespan:.2f}s")
+    print(f"execution time   = {format_hms(report.total_execution_time)}")
+    print(f"cost             = ${report.cost:.4f}")
+    return 0 if report.execution.succeeded else 1
+
+
+def _cmd_table(args) -> int:
+    if args.number == 1:
+        print(render_table1())
+        return 0
+    if args.number in (2, 3):
+        from repro.experiments.sweeps import run_paper_sweep
+
+        sweep = run_paper_sweep(episodes=args.episodes, seed=args.seed)
+        print(sweep.render_table2() if args.number == 2
+              else sweep.render_table3())
+        return 0
+    if args.number == 4:
+        from repro.experiments.table4 import render_table4, run_table4
+
+        print(render_table4(run_table4(episodes=args.episodes,
+                                       seed=args.seed)))
+        return 0
+    from repro.experiments.table5 import render_table5, run_table5
+
+    print(render_table5(run_table5(episodes=args.episodes, seed=args.seed)))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments.report import generate_report
+
+    report = generate_report(args.out, episodes=args.episodes, seed=args.seed)
+    print(report.read_text())
+    print(f"artifacts written to {args.out}/")
+    return 0
+
+
+_COMMANDS = {
+    "workflow": _cmd_workflow,
+    "simulate": _cmd_simulate,
+    "learn": _cmd_learn,
+    "pipeline": _cmd_pipeline,
+    "table": _cmd_table,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

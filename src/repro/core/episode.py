@@ -1,0 +1,115 @@
+"""Episode bookkeeping and learning results.
+
+Algorithm 2 "records all data associated to this episode [so] they can be
+used in the next episode".  :class:`EpisodeRecord` is that record;
+:class:`LearningResult` bundles a whole run — the learned plan, the final
+Q-table, the per-episode history (learning curves) and the wall-clock
+learning time that the paper's Table II reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.schedulers.base import SchedulingPlan
+from repro.util.validate import ValidationError
+
+__all__ = ["EpisodeRecord", "LearningResult"]
+
+
+@dataclass
+class EpisodeRecord:
+    """Outcome of one learning episode (one simulated workflow run)."""
+
+    episode: int
+    makespan: float
+    final_state: str
+    steps: int  #: schedule actions taken
+    mean_reward: float
+    final_reward: float  #: r^t at episode end
+    assignment: Dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "episode": self.episode,
+            "makespan": self.makespan,
+            "final_state": self.final_state,
+            "steps": self.steps,
+            "mean_reward": self.mean_reward,
+            "final_reward": self.final_reward,
+            "assignment": {str(k): v for k, v in self.assignment.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpisodeRecord":
+        return cls(
+            episode=int(data["episode"]),
+            makespan=float(data["makespan"]),
+            final_state=str(data["final_state"]),
+            steps=int(data["steps"]),
+            mean_reward=float(data["mean_reward"]),
+            final_reward=float(data["final_reward"]),
+            assignment={int(k): int(v) for k, v in data.get("assignment", {}).items()},
+        )
+
+
+@dataclass
+class LearningResult:
+    """Everything a ReASSIgN learning run produced."""
+
+    plan: SchedulingPlan  #: the plan handed to the SWfMS
+    episodes: List[EpisodeRecord]
+    learning_time: float  #: wall-clock seconds of the episode loop (Table II)
+    simulated_makespan: float  #: makespan of the final plan replay (Table III)
+    qtable_json: str  #: serialized Q-table (for provenance / resumption)
+
+    def __post_init__(self) -> None:
+        if not self.episodes:
+            raise ValidationError("a learning result needs at least one episode")
+
+    @property
+    def n_episodes(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def best_episode(self) -> EpisodeRecord:
+        """The episode with the smallest makespan (successful ones preferred)."""
+        ok = [e for e in self.episodes if e.final_state == "successfully finished"]
+        pool = ok if ok else self.episodes
+        return min(pool, key=lambda e: (e.makespan, e.episode))
+
+    def makespan_curve(self) -> List[float]:
+        """Per-episode makespans (the learning curve of ablation A4)."""
+        return [e.makespan for e in self.episodes]
+
+    def reward_curve(self) -> List[float]:
+        """Per-episode mean rewards."""
+        return [e.mean_reward for e in self.episodes]
+
+    def to_json(self) -> str:
+        """Serialize for the provenance store."""
+        return json.dumps(
+            {
+                "plan": json.loads(self.plan.to_json()),
+                "episodes": [e.to_dict() for e in self.episodes],
+                "learning_time": self.learning_time,
+                "simulated_makespan": self.simulated_makespan,
+                "qtable": json.loads(self.qtable_json),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LearningResult":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"malformed LearningResult JSON: {exc}") from exc
+        return cls(
+            plan=SchedulingPlan.from_json(json.dumps(data["plan"])),
+            episodes=[EpisodeRecord.from_dict(e) for e in data["episodes"]],
+            learning_time=float(data["learning_time"]),
+            simulated_makespan=float(data["simulated_makespan"]),
+            qtable_json=json.dumps(data["qtable"]),
+        )

@@ -1,0 +1,103 @@
+"""The (α, γ, ε) parameter sweep behind the paper's Tables II and III.
+
+The paper varies each of the three Q-learning parameters over
+``{0.1, 0.5, 1.0}`` (27 combinations) for each of the three Table-I
+fleets — 81 learning runs — and reports per combination the wall-clock
+*learning time* (Table II) and the *simulated execution time* of the
+learned plan (Table III).  :func:`sweep_parameters` reproduces one
+fleet's 27-run column; the benchmark harness stacks three fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.episode import LearningResult
+from repro.core.reassign import ReassignLearner, ReassignParams
+from repro.dag.graph import Workflow
+from repro.sim.vm import Vm
+from repro.util.validate import ValidationError
+
+__all__ = ["SweepRecord", "sweep_parameters", "PAPER_GRID"]
+
+#: the paper's parameter values for alpha, gamma and epsilon
+PAPER_GRID: Tuple[float, ...] = (0.1, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (α, γ, ε) cell of the sweep."""
+
+    alpha: float
+    gamma: float
+    epsilon: float
+    learning_time: float  #: Table II cell (seconds, wall clock)
+    simulated_makespan: float  #: Table III cell (seconds, simulated)
+    result: LearningResult
+
+    @property
+    def params(self) -> Tuple[float, float, float]:
+        return (self.alpha, self.gamma, self.epsilon)
+
+
+def sweep_parameters(
+    workflow: Workflow,
+    vms: Sequence[Vm],
+    *,
+    alphas: Sequence[float] = PAPER_GRID,
+    gammas: Sequence[float] = PAPER_GRID,
+    epsilons: Sequence[float] = PAPER_GRID,
+    episodes: int = 100,
+    mu: float = 0.5,
+    rho: float = 0.5,
+    seed: int = 0,
+    learner_factory=None,
+) -> List[SweepRecord]:
+    """Run a learning run per (α, γ, ε) combination on one fleet.
+
+    ``learner_factory(workflow, vms, params, seed)`` may be supplied to
+    customize the environment models; it must return a
+    :class:`~repro.core.reassign.ReassignLearner`-compatible object with a
+    ``learn()`` method.
+    """
+    if not alphas or not gammas or not epsilons:
+        raise ValidationError("sweep needs non-empty parameter lists")
+
+    def default_factory(wf, fleet, params, run_seed):
+        return ReassignLearner(wf, fleet, params, seed=run_seed)
+
+    factory = learner_factory if learner_factory is not None else default_factory
+
+    records: List[SweepRecord] = []
+    for alpha in alphas:
+        for gamma in gammas:
+            for epsilon in epsilons:
+                params = ReassignParams(
+                    alpha=alpha,
+                    gamma=gamma,
+                    epsilon=epsilon,
+                    mu=mu,
+                    rho=rho,
+                    episodes=episodes,
+                )
+                learner = factory(workflow, vms, params, seed)
+                result = learner.learn()
+                records.append(
+                    SweepRecord(
+                        alpha=alpha,
+                        gamma=gamma,
+                        epsilon=epsilon,
+                        learning_time=result.learning_time,
+                        simulated_makespan=result.simulated_makespan,
+                        result=result,
+                    )
+                )
+    return records
+
+
+def best_record(records: Sequence[SweepRecord]) -> SweepRecord:
+    """The cell with the smallest simulated makespan."""
+    if not records:
+        raise ValidationError("no sweep records")
+    return min(records, key=lambda r: (r.simulated_makespan, r.params))

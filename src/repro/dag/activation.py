@@ -1,0 +1,170 @@
+"""Activations — the schedulable unit — and their state machine.
+
+The paper defines the per-activation state set
+``{ready, locked, running, successfully finished, finished with a failure}``
+(§III-A).  :class:`ActivationState` encodes it, and :class:`Activation`
+enforces the legal transitions so that a scheduler bug (e.g. dispatching a
+locked activation) fails fast instead of silently corrupting a simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.util.validate import ValidationError, check_non_negative, check_positive
+
+__all__ = ["ActivationState", "Activation", "File"]
+
+
+class ActivationState(enum.Enum):
+    """Lifecycle states of an activation (paper §III-A)."""
+
+    LOCKED = "locked"  #: waiting on at least one unfinished dependency
+    READY = "ready"  #: all dependencies satisfied; eligible for scheduling
+    RUNNING = "running"  #: currently executing on some VM
+    FINISHED = "successfully finished"  #: terminal, success
+    FAILED = "finished with a failure"  #: terminal, failure
+
+    @property
+    def terminal(self) -> bool:
+        """True for the two terminal states."""
+        return self in (ActivationState.FINISHED, ActivationState.FAILED)
+
+
+# Legal transitions of the activation state machine.  LOCKED->RUNNING is not
+# legal: an activation must become READY (dependencies met) before dispatch.
+_TRANSITIONS: Dict[ActivationState, FrozenSet[ActivationState]] = {
+    ActivationState.LOCKED: frozenset(
+        {ActivationState.READY, ActivationState.FAILED}
+    ),
+    ActivationState.READY: frozenset(
+        {ActivationState.RUNNING, ActivationState.FAILED}
+    ),
+    ActivationState.RUNNING: frozenset(
+        {ActivationState.FINISHED, ActivationState.FAILED, ActivationState.READY}
+    ),
+    ActivationState.FINISHED: frozenset(),
+    ActivationState.FAILED: frozenset(),
+}
+
+
+@dataclass(frozen=True)
+class File:
+    """A data product exchanged between activations.
+
+    Parameters
+    ----------
+    name:
+        Logical file name, unique within a workflow.
+    size_bytes:
+        Size used by the transfer model.
+    """
+
+    name: str
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("file name must be non-empty")
+        check_non_negative("size_bytes", self.size_bytes)
+
+    @property
+    def size_mb(self) -> float:
+        """Size in megabytes (10^6 bytes)."""
+        return self.size_bytes / 1e6
+
+
+@dataclass
+class Activation:
+    """One schedulable invocation of an activity on a data chunk.
+
+    Parameters
+    ----------
+    id:
+        Integer id, unique within a workflow (the paper's Table V indexes
+        Montage activations 0..49).
+    activity:
+        Name of the owning activity (program), e.g. ``"mProjectPP"``.
+    runtime:
+        Reference execution time in seconds on a 1.0-speed core.  A VM with
+        ``speed`` s executes the activation in ``runtime / s`` seconds
+        (before fluctuation).
+    inputs / outputs:
+        Files consumed and produced; drive both the dependency structure
+        and the data-transfer model.
+    """
+
+    id: int
+    activity: str
+    runtime: float
+    inputs: Tuple[File, ...] = field(default_factory=tuple)
+    outputs: Tuple[File, ...] = field(default_factory=tuple)
+    state: ActivationState = ActivationState.LOCKED
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValidationError(f"activation id must be >= 0, got {self.id}")
+        if not self.activity:
+            raise ValidationError("activity name must be non-empty")
+        check_positive("runtime", self.runtime)
+        self.inputs = tuple(self.inputs)
+        self.outputs = tuple(self.outputs)
+        out_names = [f.name for f in self.outputs]
+        if len(set(out_names)) != len(out_names):
+            raise ValidationError(
+                f"activation {self.id} declares duplicate output files"
+            )
+
+    # -- state machine -------------------------------------------------
+
+    def transition(self, new_state: ActivationState) -> None:
+        """Move to ``new_state``, enforcing the legal transition table.
+
+        ``RUNNING -> READY`` is allowed to model re-execution after a VM
+        failure (the activation is re-queued).
+        """
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ValidationError(
+                f"illegal activation transition {self.state.name} -> "
+                f"{new_state.name} (activation {self.id})"
+            )
+        self.state = new_state
+
+    def reset(self) -> None:
+        """Return to LOCKED, e.g. at the start of a new learning episode."""
+        self.state = ActivationState.LOCKED
+
+    # -- data ------------------------------------------------------------
+
+    @property
+    def input_bytes(self) -> float:
+        """Total size of input files."""
+        return sum(f.size_bytes for f in self.inputs)
+
+    @property
+    def output_bytes(self) -> float:
+        """Total size of output files."""
+        return sum(f.size_bytes for f in self.outputs)
+
+    def produces(self, file_name: str) -> bool:
+        """True if this activation outputs ``file_name``."""
+        return any(f.name == file_name for f in self.outputs)
+
+    def consumes(self, file_name: str) -> bool:
+        """True if this activation inputs ``file_name``."""
+        return any(f.name == file_name for f in self.inputs)
+
+    def output_file(self, file_name: str) -> Optional[File]:
+        """Return the named output file, or None."""
+        for f in self.outputs:
+            if f.name == file_name:
+                return f
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Activation(id={self.id}, activity={self.activity!r}, "
+            f"runtime={self.runtime:.3f}, state={self.state.name})"
+        )

@@ -1,0 +1,123 @@
+"""Structural and timing analysis of workflow DAGs.
+
+These metrics drive both the evaluation harness (workload characterization
+tables) and scheduling heuristics (critical-path priorities).  Times here
+are *reference* runtimes — the activation cost on a unit-speed core —
+ignoring data transfer, which is the convention HEFT's upward rank uses
+when communication estimates are supplied separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dag.graph import Workflow
+
+__all__ = [
+    "DagProfile",
+    "critical_path",
+    "critical_path_length",
+    "level_widths",
+    "profile_dag",
+    "serial_runtime",
+]
+
+
+def serial_runtime(workflow: Workflow) -> float:
+    """Sum of all reference runtimes (a single-core lower bound)."""
+    return sum(ac.runtime for ac in workflow)
+
+
+def level_widths(workflow: Workflow) -> List[int]:
+    """Number of activations per dependency level."""
+    return [len(level) for level in workflow.levels()]
+
+
+def critical_path(workflow: Workflow) -> Tuple[List[int], float]:
+    """Longest runtime-weighted path through the DAG.
+
+    Returns ``(path_ids, total_runtime)``.  Communication costs are not
+    included; this is the classic CP used for bounding makespan from below
+    on infinitely many unit-speed cores.
+    """
+    if len(workflow) == 0:
+        return [], 0.0
+    # longest path to *finish* of node, following topological order
+    best: Dict[int, float] = {}
+    choice: Dict[int, Optional[int]] = {}
+    for node in workflow.topological_order():
+        preds = workflow.parents(node)
+        if preds:
+            pred = max(preds, key=lambda p: (best[p], -p))
+            base = best[pred]
+            choice[node] = pred
+        else:
+            base = 0.0
+            choice[node] = None
+        best[node] = base + workflow.activation(node).runtime
+
+    end = max(best, key=lambda n: (best[n], -n))
+    path: List[int] = []
+    cur: Optional[int] = end
+    while cur is not None:
+        path.append(cur)
+        cur = choice[cur]
+    path.reverse()
+    return path, best[end]
+
+
+def critical_path_length(workflow: Workflow) -> float:
+    """Runtime of the critical path only."""
+    return critical_path(workflow)[1]
+
+
+@dataclass(frozen=True)
+class DagProfile:
+    """Summary statistics of a workflow DAG."""
+
+    name: str
+    n_activations: int
+    n_edges: int
+    n_levels: int
+    max_width: int
+    serial_runtime: float
+    critical_path_runtime: float
+    total_input_bytes: float
+    total_output_bytes: float
+
+    @property
+    def parallelism(self) -> float:
+        """Average available parallelism = serial runtime / critical path."""
+        if self.critical_path_runtime == 0:
+            return 0.0
+        return self.serial_runtime / self.critical_path_runtime
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """(label, value) pairs for table rendering."""
+        return [
+            ("workflow", self.name),
+            ("activations", self.n_activations),
+            ("edges", self.n_edges),
+            ("levels", self.n_levels),
+            ("max level width", self.max_width),
+            ("serial runtime [s]", round(self.serial_runtime, 3)),
+            ("critical path [s]", round(self.critical_path_runtime, 3)),
+            ("avg parallelism", round(self.parallelism, 3)),
+        ]
+
+
+def profile_dag(workflow: Workflow) -> DagProfile:
+    """Compute a :class:`DagProfile` for a workflow."""
+    widths = level_widths(workflow)
+    return DagProfile(
+        name=workflow.name,
+        n_activations=len(workflow),
+        n_edges=workflow.edge_count,
+        n_levels=len(widths),
+        max_width=max(widths) if widths else 0,
+        serial_runtime=serial_runtime(workflow),
+        critical_path_runtime=critical_path_length(workflow),
+        total_input_bytes=sum(ac.input_bytes for ac in workflow),
+        total_output_bytes=sum(ac.output_bytes for ac in workflow),
+    )

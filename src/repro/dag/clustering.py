@@ -1,0 +1,168 @@
+"""Task clustering — WorkflowSim's Clustering Engine, reimplemented.
+
+WorkflowSim sits a *clustering* stage between the mapper and the
+scheduler: small tasks are merged into larger jobs to amortize dispatch
+and queueing overheads.  Two classic policies are provided:
+
+- **horizontal clustering** — merge groups of tasks within the same
+  dependency level (they are independent by construction);
+- **vertical clustering** — merge maximal single-parent/single-child
+  chains (a chain executes serially anyway, so merging removes
+  intermediate scheduling overhead and data movement).
+
+A merged activation's runtime is the sum of its members' runtimes; its
+inputs are the member inputs not produced inside the cluster, and its
+outputs every member output (intra-cluster files become internal).
+`ClusteredWorkflow.expand(plan)` maps a plan on the clustered DAG back
+to the original activations, so clustering composes with every
+scheduler in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.dag.activation import Activation, File
+from repro.dag.graph import Workflow
+from repro.util.validate import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime, fine for types
+    from repro.schedulers.base import SchedulingPlan
+
+__all__ = ["ClusteredWorkflow", "horizontal_clustering", "vertical_clustering"]
+
+
+@dataclass
+class ClusteredWorkflow:
+    """A clustered DAG plus the mapping back to the original activations."""
+
+    workflow: Workflow  #: the clustered DAG (cluster ids are fresh)
+    members: Dict[int, List[int]]  #: cluster id -> original activation ids
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for cluster_id, ids in self.members.items():
+            if cluster_id not in self.workflow:
+                raise ValidationError(f"cluster {cluster_id} not in the DAG")
+            overlap = seen & set(ids)
+            if overlap:
+                raise ValidationError(
+                    f"activations {sorted(overlap)} belong to two clusters"
+                )
+            seen.update(ids)
+
+    @property
+    def n_original(self) -> int:
+        return sum(len(v) for v in self.members.values())
+
+    def cluster_of(self, original_id: int) -> int:
+        """The cluster containing an original activation."""
+        for cluster_id, ids in self.members.items():
+            if original_id in ids:
+                return cluster_id
+        raise ValidationError(f"activation {original_id} not in any cluster")
+
+    def expand(self, plan: "SchedulingPlan") -> "SchedulingPlan":
+        """Translate a plan over clusters into one over original ids.
+
+        Every member of a cluster inherits the cluster's VM; the
+        priority order expands each cluster into its members in id
+        order.
+        """
+        from repro.schedulers.base import SchedulingPlan
+
+        assignment: Dict[int, int] = {}
+        priority: List[int] = []
+        for cluster_id in plan.priority:
+            vm = plan.vm_of(cluster_id)
+            for original in sorted(self.members[cluster_id]):
+                assignment[original] = vm
+                priority.append(original)
+        return SchedulingPlan(
+            assignment=assignment, priority=priority,
+            name=f"{plan.name}+expanded",
+        )
+
+
+def _build_cluster(
+    wf: Workflow, cluster_id: int, member_ids: Sequence[int]
+) -> Activation:
+    """Merge member activations into one (runtime sum, external I/O)."""
+    members = [wf.activation(i) for i in member_ids]
+    internal = {f.name for ac in members for f in ac.outputs}
+    inputs: Dict[str, File] = {}
+    for ac in members:
+        for f in ac.inputs:
+            if f.name not in internal:
+                inputs[f.name] = f
+    outputs: Dict[str, File] = {}
+    for ac in members:
+        for f in ac.outputs:
+            outputs[f.name] = f
+    activities = sorted({ac.activity for ac in members})
+    return Activation(
+        id=cluster_id,
+        activity="+".join(activities),
+        runtime=sum(ac.runtime for ac in members),
+        inputs=tuple(inputs.values()),
+        outputs=tuple(outputs.values()),
+    )
+
+
+def _assemble(
+    wf: Workflow, groups: List[List[int]], name_suffix: str
+) -> ClusteredWorkflow:
+    """Build the clustered DAG from disjoint, exhaustive groups."""
+    clustered = Workflow(f"{wf.name}-{name_suffix}")
+    members: Dict[int, List[int]] = {}
+    cluster_of: Dict[int, int] = {}
+    for cluster_id, group in enumerate(groups):
+        clustered.add_activation(_build_cluster(wf, cluster_id, group))
+        members[cluster_id] = sorted(group)
+        for original in group:
+            cluster_of[original] = cluster_id
+    for parent, child in wf.edges:
+        cp, cc = cluster_of[parent], cluster_of[child]
+        if cp != cc:
+            clustered.add_dependency(cp, cc)
+    clustered.validate()
+    return ClusteredWorkflow(workflow=clustered, members=members)
+
+
+def horizontal_clustering(wf: Workflow, group_size: int = 2) -> ClusteredWorkflow:
+    """Merge runs of ``group_size`` tasks within each dependency level."""
+    if group_size < 1:
+        raise ValidationError("group_size must be >= 1")
+    wf.validate()
+    groups: List[List[int]] = []
+    for level in wf.levels():
+        for start in range(0, len(level), group_size):
+            groups.append(level[start:start + group_size])
+    return _assemble(wf, groups, f"hc{group_size}")
+
+
+def vertical_clustering(wf: Workflow) -> ClusteredWorkflow:
+    """Merge maximal single-child/single-parent chains."""
+    wf.validate()
+    # follow chains: extend from each node whose predecessor link breaks
+    assigned: set = set()
+    groups: List[List[int]] = []
+    for node in wf.topological_order():
+        if node in assigned:
+            continue
+        chain = [node]
+        assigned.add(node)
+        current = node
+        while True:
+            children = wf.children(current)
+            if len(children) != 1:
+                break
+            nxt = children[0]
+            if nxt in assigned or len(wf.parents(nxt)) != 1:
+                break
+            chain.append(nxt)
+            assigned.add(nxt)
+            current = nxt
+        groups.append(chain)
+    return _assemble(wf, groups, "vc")

@@ -1,0 +1,346 @@
+"""The workflow DAG.
+
+``Workflow`` owns a set of :class:`~repro.dag.activation.Activation` nodes
+and the dependency edges between them.  It provides the graph operations
+every other subsystem needs: topological ordering, level decomposition,
+ready-set maintenance, and structural validation (acyclicity, unique ids).
+
+Following the paper's formalization, an edge ``(i, j)`` means activation
+``j`` consumes (at least one) output of activation ``i``; edges may also be
+added explicitly for control dependencies that carry no data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.dag.activation import Activation, ActivationState, File
+from repro.util.validate import ValidationError
+
+__all__ = ["Workflow", "CycleError"]
+
+
+class CycleError(ValidationError):
+    """Raised when an operation would make (or finds) the graph cyclic."""
+
+
+class Workflow:
+    """A directed acyclic graph of activations.
+
+    Parameters
+    ----------
+    name:
+        Human-readable workflow name (e.g. ``"montage-50"``).
+    """
+
+    def __init__(self, name: str = "workflow") -> None:
+        if not name:
+            raise ValidationError("workflow name must be non-empty")
+        self.name = name
+        self._nodes: Dict[int, Activation] = {}
+        self._succ: Dict[int, Set[int]] = {}
+        self._pred: Dict[int, Set[int]] = {}
+        # Cache invalidated on structural change.
+        self._topo_cache: Optional[List[int]] = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_activation(self, activation: Activation) -> Activation:
+        """Add a node; ids must be unique."""
+        if activation.id in self._nodes:
+            raise ValidationError(
+                f"duplicate activation id {activation.id} in workflow {self.name!r}"
+            )
+        self._nodes[activation.id] = activation
+        self._succ[activation.id] = set()
+        self._pred[activation.id] = set()
+        self._topo_cache = None
+        return activation
+
+    def add_dependency(self, parent_id: int, child_id: int) -> None:
+        """Add edge ``parent -> child`` (child consumes parent's output)."""
+        if parent_id not in self._nodes:
+            raise ValidationError(f"unknown parent activation {parent_id}")
+        if child_id not in self._nodes:
+            raise ValidationError(f"unknown child activation {child_id}")
+        if parent_id == child_id:
+            raise CycleError(f"self-dependency on activation {parent_id}")
+        if child_id in self._succ[parent_id]:
+            return  # idempotent
+        if self._reaches(child_id, parent_id):
+            raise CycleError(
+                f"adding edge {parent_id}->{child_id} would create a cycle"
+            )
+        self._succ[parent_id].add(child_id)
+        self._pred[child_id].add(parent_id)
+        self._topo_cache = None
+
+    def infer_data_dependencies(self) -> int:
+        """Add edges implied by file names (producer -> consumer).
+
+        Returns the number of edges added.  Mirrors the paper's
+        ``dep(ac_i, ac_j) <-> exists r in input(ac_j) | r in output(ac_i)``.
+        """
+        producer: Dict[str, int] = {}
+        for ac in self._nodes.values():
+            for f in ac.outputs:
+                if f.name in producer:
+                    raise ValidationError(
+                        f"file {f.name!r} produced by both activation "
+                        f"{producer[f.name]} and {ac.id}"
+                    )
+                producer[f.name] = ac.id
+        added = 0
+        for ac in self._nodes.values():
+            for f in ac.inputs:
+                src = producer.get(f.name)
+                if src is not None and src != ac.id:
+                    if ac.id not in self._succ[src]:
+                        self.add_dependency(src, ac.id)
+                        added += 1
+        return added
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, activation_id: int) -> bool:
+        return activation_id in self._nodes
+
+    def __iter__(self) -> Iterator[Activation]:
+        return iter(self._nodes.values())
+
+    def activation(self, activation_id: int) -> Activation:
+        """Return the activation with the given id."""
+        try:
+            return self._nodes[activation_id]
+        except KeyError:
+            raise ValidationError(
+                f"unknown activation {activation_id} in workflow {self.name!r}"
+            ) from None
+
+    @property
+    def activations(self) -> List[Activation]:
+        """All activations, ordered by id."""
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    @property
+    def activation_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def parents(self, activation_id: int) -> List[int]:
+        """Ids of direct predecessors, sorted."""
+        self.activation(activation_id)
+        return sorted(self._pred[activation_id])
+
+    def children(self, activation_id: int) -> List[int]:
+        """Ids of direct successors, sorted."""
+        self.activation(activation_id)
+        return sorted(self._succ[activation_id])
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """All edges as (parent, child), sorted."""
+        return sorted(
+            (p, c) for p, kids in self._succ.items() for c in kids
+        )
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(kids) for kids in self._succ.values())
+
+    def entries(self) -> List[int]:
+        """Ids of activations with no predecessors."""
+        return sorted(i for i in self._nodes if not self._pred[i])
+
+    def exits(self) -> List[int]:
+        """Ids of activations with no successors."""
+        return sorted(i for i in self._nodes if not self._succ[i])
+
+    def _reaches(self, src: int, dst: int) -> bool:
+        """BFS reachability ``src -> ... -> dst``."""
+        if src == dst:
+            return True
+        seen = {src}
+        frontier = deque([src])
+        while frontier:
+            node = frontier.popleft()
+            for nxt in self._succ[node]:
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    # -- orderings -----------------------------------------------------------
+
+    def topological_order(self) -> List[int]:
+        """Kahn topological order (stable: ties broken by id)."""
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        import heapq
+
+        indeg = {i: len(self._pred[i]) for i in self._nodes}
+        # min-heap on ids makes the order deterministic (ties by id)
+        heap = [i for i, d in indeg.items() if d == 0]
+        heapq.heapify(heap)
+        order: List[int] = []
+        while heap:
+            node = heapq.heappop(heap)
+            order.append(node)
+            for child in self._succ[node]:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    heapq.heappush(heap, child)
+        if len(order) != len(self._nodes):
+            raise CycleError(f"workflow {self.name!r} contains a cycle")
+        self._topo_cache = order
+        return list(order)
+
+    def levels(self) -> List[List[int]]:
+        """Partition nodes into dependency levels (level 0 = entries)."""
+        depth: Dict[int, int] = {}
+        for node in self.topological_order():
+            preds = self._pred[node]
+            depth[node] = 1 + max((depth[p] for p in preds), default=-1)
+        n_levels = 1 + max(depth.values(), default=0) if depth else 0
+        out: List[List[int]] = [[] for _ in range(n_levels)]
+        for node, d in depth.items():
+            out[d].append(node)
+        for lvl in out:
+            lvl.sort()
+        return out
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on violation."""
+        self.topological_order()  # raises CycleError on a cycle
+        for parent, kids in self._succ.items():
+            for child in kids:
+                if parent not in self._pred[child]:
+                    raise ValidationError(
+                        f"edge {parent}->{child} missing reverse index"
+                    )
+
+    # -- execution-state helpers ------------------------------------------
+
+    def reset_states(self) -> None:
+        """Set every activation LOCKED, then promote entry nodes to READY."""
+        for ac in self._nodes.values():
+            ac.reset()
+        for i in self.entries():
+            self._nodes[i].transition(ActivationState.READY)
+
+    def ready_ids(self) -> List[int]:
+        """Ids of activations currently in the READY state."""
+        return sorted(
+            i for i, ac in self._nodes.items() if ac.state is ActivationState.READY
+        )
+
+    def release_children(self, finished_id: int) -> List[int]:
+        """Promote LOCKED children whose parents have all FINISHED.
+
+        Call after ``finished_id`` transitions to FINISHED.  Returns the ids
+        newly promoted to READY.
+        """
+        released = []
+        for child in self._succ[finished_id]:
+            ac = self._nodes[child]
+            if ac.state is not ActivationState.LOCKED:
+                continue
+            if all(
+                self._nodes[p].state is ActivationState.FINISHED
+                for p in self._pred[child]
+            ):
+                ac.transition(ActivationState.READY)
+                released.append(child)
+        return sorted(released)
+
+    def workflow_state(self) -> str:
+        """The paper's 4-valued workflow state (§III-A).
+
+        Returns one of ``"successfully finished"``, ``"finished with
+        failure"``, ``"available"``, ``"unavailable"``.  Note machine
+        availability is layered on top by the simulator: ``available`` here
+        only means *some activation is READY*.
+        """
+        states = [ac.state for ac in self._nodes.values()]
+        if all(s is ActivationState.FINISHED for s in states):
+            return "successfully finished"
+        if any(s is ActivationState.FAILED for s in states) and not any(
+            s in (ActivationState.READY, ActivationState.LOCKED, ActivationState.RUNNING)
+            for s in states
+        ):
+            return "finished with failure"
+        if any(s is ActivationState.READY for s in states):
+            return "available"
+        return "unavailable"
+
+    # -- transforms ----------------------------------------------------------
+
+    def subgraph(self, ids: Iterable[int], name: Optional[str] = None) -> "Workflow":
+        """Induced subgraph over ``ids`` (fresh activation objects)."""
+        keep = set(ids)
+        unknown = keep - set(self._nodes)
+        if unknown:
+            raise ValidationError(f"unknown activations in subgraph: {sorted(unknown)}")
+        out = Workflow(name or f"{self.name}-sub")
+        for i in sorted(keep):
+            src = self._nodes[i]
+            out.add_activation(
+                Activation(
+                    id=src.id,
+                    activity=src.activity,
+                    runtime=src.runtime,
+                    inputs=src.inputs,
+                    outputs=src.outputs,
+                )
+            )
+        for p, c in self.edges:
+            if p in keep and c in keep:
+                out.add_dependency(p, c)
+        return out
+
+    def copy(self, name: Optional[str] = None) -> "Workflow":
+        """Deep copy with fresh (LOCKED) activation objects."""
+        return self.subgraph(self._nodes.keys(), name or self.name)
+
+    def relabel_sequential(self) -> "Workflow":
+        """Return a copy with ids renumbered 0..n-1 in topological order."""
+        mapping = {old: new for new, old in enumerate(self.topological_order())}
+        out = Workflow(self.name)
+        for old in self.topological_order():
+            src = self._nodes[old]
+            out.add_activation(
+                Activation(
+                    id=mapping[old],
+                    activity=src.activity,
+                    runtime=src.runtime,
+                    inputs=src.inputs,
+                    outputs=src.outputs,
+                )
+            )
+        for p, c in self.edges:
+            out.add_dependency(mapping[p], mapping[c])
+        return out
+
+    def files(self) -> Dict[str, File]:
+        """All distinct files referenced by the workflow, by name."""
+        out: Dict[str, File] = {}
+        for ac in self._nodes.values():
+            for f in list(ac.inputs) + list(ac.outputs):
+                prev = out.get(f.name)
+                if prev is not None and prev.size_bytes != f.size_bytes:
+                    raise ValidationError(
+                        f"file {f.name!r} declared with conflicting sizes"
+                    )
+                out[f.name] = f
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workflow(name={self.name!r}, activations={len(self)}, "
+            f"edges={self.edge_count})"
+        )

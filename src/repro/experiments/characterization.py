@@ -1,0 +1,71 @@
+"""Workload characterization — the Bharathi-style profile of every
+benchmark workflow we generate.
+
+Not a numbered table in the paper, but the dataset section (§IV-B) rests
+on the Workflow Generator's published characterization; this experiment
+regenerates that view for our synthetic workloads so readers can compare
+structure against the published Montage/CyberShake/... figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dag.analysis import profile_dag
+from repro.util.tables import render_table
+from repro.workflows.registry import available_workflows, make_workflow
+
+__all__ = ["run_characterization", "render_characterization"]
+
+
+def run_characterization(
+    seed: int = 0,
+    sizes: Sequence[Tuple[str, int]] = (),
+) -> List[Tuple]:
+    """Profile each workload; returns table rows.
+
+    Default covers every registered workflow at its benchmark size plus
+    the Montage sizes the Workflow Generator published (25/50/100).
+    """
+    if not sizes:
+        sizes = tuple(
+            [("montage", n) for n in (25, 50, 100)]
+            + [(name, None) for name in available_workflows() if name != "montage"]
+        )
+    rows = []
+    for name, n in sizes:
+        wf = make_workflow(name, n, seed=seed)
+        p = profile_dag(wf)
+        rows.append(
+            (
+                p.name,
+                p.n_activations,
+                p.n_edges,
+                p.n_levels,
+                p.max_width,
+                round(p.serial_runtime, 1),
+                round(p.critical_path_runtime, 1),
+                round(p.parallelism, 2),
+                round((p.total_input_bytes + p.total_output_bytes) / 1e6, 1),
+            )
+        )
+    return rows
+
+
+def render_characterization(rows: Sequence[Tuple]) -> str:
+    """Render the characterization table."""
+    return render_table(
+        [
+            "workflow",
+            "activations",
+            "edges",
+            "levels",
+            "max width",
+            "serial [s]",
+            "critical path [s]",
+            "parallelism",
+            "data [MB]",
+        ],
+        rows,
+        title="Workload characterization (Bharathi-style structural profile)",
+    )

@@ -1,0 +1,59 @@
+"""Table I — the paper's VM fleet configurations.
+
+Three fleets of 8 t2.micro plus 1/3/7 t2.2xlarge, totalling 16/32/64
+vCPUs.  The same specs drive Tables II–V.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.vm import Vm, fleet_vcpus, t2_fleet
+from repro.util.tables import render_table
+from repro.util.validate import ValidationError
+
+__all__ = ["TABLE1_FLEETS", "fleet_for", "fleet_spec_for", "render_table1"]
+
+#: (n_micro, n_2xlarge) per paper fleet, keyed by total vCPUs
+TABLE1_FLEETS: Dict[int, Tuple[int, int]] = {
+    16: (8, 1),
+    32: (8, 3),
+    64: (8, 7),
+}
+
+
+def fleet_for(vcpus: int) -> List[Vm]:
+    """Build the Table-I fleet with the given total vCPUs (16/32/64)."""
+    try:
+        n_micro, n_2xlarge = TABLE1_FLEETS[vcpus]
+    except KeyError:
+        raise ValidationError(
+            f"no Table-I fleet with {vcpus} vCPUs; choices: {sorted(TABLE1_FLEETS)}"
+        ) from None
+    fleet = t2_fleet(n_micro, n_2xlarge)
+    assert fleet_vcpus(fleet) == vcpus
+    return fleet
+
+
+def fleet_spec_for(vcpus: int) -> Dict[str, int]:
+    """The fleet as a type-count spec (for :class:`SciCumulusRL`)."""
+    try:
+        n_micro, n_2xlarge = TABLE1_FLEETS[vcpus]
+    except KeyError:
+        raise ValidationError(
+            f"no Table-I fleet with {vcpus} vCPUs; choices: {sorted(TABLE1_FLEETS)}"
+        ) from None
+    return {"t2.micro": n_micro, "t2.2xlarge": n_2xlarge}
+
+
+def render_table1() -> str:
+    """Regenerate Table I."""
+    rows = []
+    for vcpus in sorted(TABLE1_FLEETS):
+        n_micro, n_2x = TABLE1_FLEETS[vcpus]
+        rows.append((n_micro + n_2x, n_micro, n_2x, vcpus))
+    return render_table(
+        ["# of VMs", "# of VMs t2.micro", "# of VMs t2.2xLarge", "# of vCPUs"],
+        rows,
+        title="Table I: VM configurations used in the experiments",
+    )

@@ -1,0 +1,109 @@
+"""Figure 1 — the SciCumulus-RL architecture, demonstrated as a live trace.
+
+A figure cannot be "measured", so this experiment exercises every
+component of the paper's architecture diagram in order and emits the
+trace: SCSetup loads the XML specification and invokes the WorkflowSim
+substitute (ReASSIgN episodes), the plan flows to SCStarter which deploys
+VMs, SCCore executes via the MPI master/slave engine, and provenance
+records everything.  The returned text doubles as documentation of the
+pipeline wiring; the assertions in its benchmark verify each stage really
+ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.reassign import ReassignParams
+from repro.dag.graph import Workflow
+from repro.experiments.environments import fleet_spec_for
+from repro.scicumulus.provenance import ProvenanceStore
+from repro.scicumulus.swfms import ExecutionReport, SciCumulusRL
+from repro.scicumulus.xml_spec import workflow_from_xml, workflow_to_xml
+from repro.workflows.montage import montage
+
+__all__ = ["Figure1Trace", "run_figure1"]
+
+_DIAGRAM = r"""
+        +--------------------------- SciCumulus-RL ----------------------------+
+        |                                                                      |
+        |  SCSetup ----(XML spec)----> WorkflowSim substitute (repro.sim)      |
+        |     |                           |  ReASSIgN episodes (Q-learning)    |
+        |     |                           v                                    |
+        |     |                     scheduling plan                            |
+        |     v                           |                                    |
+        |  SCStarter <--------------------+                                    |
+        |     |  deploys VMs (simulated AWS, boot + billing)                   |
+        |     v                                                                |
+        |  SCCore: SCMaster ==MPI==> SCSlaves (one per vCPU)                   |
+        |     |                                                                |
+        |     v                                                                |
+        |  Provenance DB (SQLite) --> future ReASSIgN runs                     |
+        +----------------------------------------------------------------------+
+"""
+
+
+@dataclass
+class Figure1Trace:
+    """Evidence that every Fig.-1 component ran."""
+
+    report: ExecutionReport
+    spec_xml_chars: int
+    n_learning_runs: int
+    n_recorded_executions: int
+    lines: List[str]
+
+    def text(self) -> str:
+        return "\n".join([_DIAGRAM.rstrip()] + self.lines)
+
+
+def run_figure1(
+    workflow: Optional[Workflow] = None,
+    *,
+    vcpus: int = 16,
+    episodes: int = 25,
+    seed: int = 0,
+) -> Figure1Trace:
+    """Drive the full Fig.-1 pipeline once and trace each stage."""
+    wf = workflow if workflow is not None else montage(50, seed=seed)
+    store = ProvenanceStore()
+    swfms = SciCumulusRL(provenance=store, seed=seed)
+    lines: List[str] = []
+
+    xml = workflow_to_xml(wf)
+    reloaded = workflow_from_xml(xml)
+    lines.append(
+        f"[SCSetup]    loaded specification {reloaded.name!r}: "
+        f"{len(reloaded)} activations, {reloaded.edge_count} dependencies"
+    )
+
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
+    report = swfms.run_workflow(reloaded, fleet_spec_for(vcpus), "reassign", params)
+    lines.append(
+        f"[WorkflowSim] learned plan over {episodes} episodes in "
+        f"{report.learning_time:.2f}s (simulated makespan "
+        f"{report.simulated_makespan:.1f}s)"
+    )
+    lines.append(
+        f"[SCStarter]  deployed {report.fleet} (slowest boot "
+        f"{report.deploy_time:.0f}s)"
+    )
+    lines.append(
+        f"[SCCore]     MPI master/slave executed {len(report.execution.records)} "
+        f"activations in {report.total_execution_time:.1f}s "
+        f"({report.execution.final_state})"
+    )
+    runs = store.learning_runs(reloaded.name)
+    execs = store.executions(reloaded.name)
+    lines.append(
+        f"[Provenance] recorded {len(runs)} learning run(s) and "
+        f"{len(execs)} execution(s); bill ${report.cost:.4f}"
+    )
+    return Figure1Trace(
+        report=report,
+        spec_xml_chars=len(xml),
+        n_learning_runs=len(runs),
+        n_recorded_executions=len(execs),
+        lines=lines,
+    )

@@ -1,0 +1,87 @@
+"""Table V — the activation→VM scheduling plans for the 16-vCPU fleet.
+
+The paper dumps, for all 50 Montage activations, the VM chosen by HEFT
+and by three ReASSIgN configurations (all with γ = 1.0, ε = 0.1):
+C1 (α = 1.0), C2 (α = 0.5), C3 (α = 0.1).  The qualitative claim to
+reproduce: HEFT distributes the initial activations sequentially across
+all nine VMs, while the ReASSIgN plans concentrate them on the robust
+2xlarge VM (id 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.reassign import ReassignLearner, ReassignParams
+from repro.dag.graph import Workflow
+from repro.experiments.environments import fleet_for
+from repro.schedulers.base import SchedulingPlan
+from repro.schedulers.heft import HeftScheduler
+from repro.util.tables import render_table
+from repro.workflows.montage import montage
+
+__all__ = ["Table5Result", "run_table5", "render_table5"]
+
+#: Table V scenarios: label -> (alpha, gamma, epsilon)
+SCENARIOS: Dict[str, tuple] = {
+    "C1": (1.0, 1.0, 0.1),
+    "C2": (0.5, 1.0, 0.1),
+    "C3": (0.1, 1.0, 0.1),
+}
+
+
+@dataclass
+class Table5Result:
+    """The four plans plus fleet metadata."""
+
+    workflow_name: str
+    plans: Dict[str, SchedulingPlan]  #: "HEFT", "C1", "C2", "C3"
+    big_vm_ids: List[int]  #: the 2xlarge ids (VM 8 on this fleet)
+
+    def vm_share_on_big(self, label: str) -> float:
+        """Fraction of activations a plan places on 2xlarge VMs."""
+        plan = self.plans[label]
+        big = set(self.big_vm_ids)
+        n = sum(1 for vm in plan.assignment.values() if vm in big)
+        return n / len(plan.assignment)
+
+
+def run_table5(
+    workflow: Optional[Workflow] = None,
+    *,
+    episodes: int = 100,
+    seed: int = 0,
+) -> Table5Result:
+    """Compute the Table V plans on the 16-vCPU fleet."""
+    wf = workflow if workflow is not None else montage(50, seed=seed)
+    fleet = fleet_for(16)
+    plans: Dict[str, SchedulingPlan] = {
+        "HEFT": HeftScheduler().plan(wf, fleet)
+    }
+    for label, (alpha, gamma, epsilon) in SCENARIOS.items():
+        params = ReassignParams(
+            alpha=alpha, gamma=gamma, epsilon=epsilon, episodes=episodes
+        )
+        learner = ReassignLearner(wf, fleet, params, seed=seed)
+        plans[label] = learner.learn().plan
+    return Table5Result(
+        workflow_name=wf.name,
+        plans=plans,
+        big_vm_ids=[vm.id for vm in fleet if vm.capacity > 1],
+    )
+
+
+def render_table5(result: Table5Result) -> str:
+    """Render Table V in the paper's format."""
+    labels = ["HEFT", "C1", "C2", "C3"]
+    some_plan = result.plans["HEFT"]
+    rows = [
+        tuple([ac_id] + [result.plans[label].vm_of(ac_id) for label in labels])
+        for ac_id in sorted(some_plan.assignment)
+    ]
+    return render_table(
+        ["Activation ID"] + labels,
+        rows,
+        title=f"Table V: Scheduling plan for 16 vCPUs ({result.workflow_name})",
+    )

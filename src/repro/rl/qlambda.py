@@ -1,0 +1,118 @@
+"""Watkins Q(λ) — Q-learning with eligibility traces (extension).
+
+Plain one-step Q-learning propagates reward one transition per episode;
+with Montage's 50-step episodes and 100-episode budgets the tail of the
+credit-assignment chain barely moves.  Watkins Q(λ) keeps an
+*eligibility trace* e(s, a) that decays by γλ per step and is **cut to
+zero whenever an exploratory (non-greedy) action is taken**, so every
+update sweeps credit along the greedy prefix of the trajectory.
+
+Included as a future-work extension ("we believe ReASSIgN will provide
+better scheduling plans as more episodes are considered" — traces are
+the standard way to get more out of each episode).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.rl.environment import DiscreteEnv
+from repro.rl.policy import ActionPolicy
+from repro.rl.qlearning import EpisodeStats, QLearningAgent
+from repro.util.validate import ValidationError, check_probability
+
+__all__ = ["QLambdaAgent"]
+
+
+class QLambdaAgent(QLearningAgent):
+    """Tabular Watkins Q(λ).
+
+    Parameters
+    ----------
+    lam:
+        Trace-decay parameter λ in [0, 1].  λ = 0 recovers one-step
+        Q-learning; λ = 1 approaches Monte-Carlo returns along greedy
+        segments.
+    trace_floor:
+        Traces below this magnitude are dropped (keeps the trace dict
+        sparse).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        gamma: float = 0.9,
+        lam: float = 0.8,
+        policy: Optional[ActionPolicy] = None,
+        seed: int = 0,
+        discount_power: bool = False,
+        max_steps: int = 100_000,
+        trace_floor: float = 1e-4,
+    ) -> None:
+        super().__init__(
+            alpha=alpha,
+            gamma=gamma,
+            policy=policy,
+            seed=seed,
+            discount_power=discount_power,
+            max_steps=max_steps,
+        )
+        self.lam = check_probability("lam", lam)
+        if trace_floor <= 0:
+            raise ValidationError("trace_floor must be > 0")
+        self.trace_floor = float(trace_floor)
+
+    def run_episode(self, env: DiscreteEnv) -> EpisodeStats:
+        state = env.reset()
+        stats = EpisodeStats(episode=len(self.history), steps=0, total_reward=0.0)
+        traces: Dict[Tuple[Hashable, Hashable], float] = {}
+
+        for t in range(1, self.max_steps + 1):
+            actions = env.actions(state)
+            if not actions:
+                break  # terminal
+            action = self.policy.choose(self.qtable, state, actions, self._rng)
+            greedy = self.qtable.best_action(state, actions)
+            was_greedy = (
+                self.qtable.value(state, action)
+                >= self.qtable.value(state, greedy) - 1e-12
+            )
+
+            next_state, reward, done = env.step(action)
+            next_actions = [] if done else env.actions(next_state)
+            future = self.qtable.max_value(next_state, next_actions)
+            gamma_t = self.effective_gamma(t)
+            delta = reward + gamma_t * future - self.qtable.value(state, action)
+
+            # accumulate trace for the visited pair, then sweep the update
+            key = (state, action)
+            traces[key] = traces.get(key, 0.0) + 1.0
+            dead: List[Tuple[Hashable, Hashable]] = []
+            for (s, a), trace in traces.items():
+                self.qtable.add(s, a, self.alpha * delta * trace)
+                new_trace = trace * gamma_t * self.lam
+                if new_trace < self.trace_floor:
+                    dead.append((s, a))
+                else:
+                    traces[(s, a)] = new_trace
+            for k in dead:
+                del traces[k]
+            if not was_greedy:
+                # Watkins cut: exploratory action invalidates the greedy
+                # backup chain
+                traces.clear()
+
+            stats.steps += 1
+            stats.total_reward += reward
+            stats.rewards.append(reward)
+            state = next_state
+            if done:
+                break
+        else:
+            raise ValidationError(
+                f"episode exceeded max_steps={self.max_steps}; "
+                "the environment may not terminate"
+            )
+        self.policy.episode_finished()
+        self.history.append(stats)
+        return stats

@@ -1,0 +1,149 @@
+"""Tabular action-value storage.
+
+The paper's evaluation table "Q: S x A" maps (workflow state, schedule
+action) to a value.  :class:`QTable` is a sparse dict-backed table whose
+unseen entries are initialized *at random* on first touch — "Start Q(s, a)
+for all s, a at random" (Algorithm 1) — from a dedicated stream so results
+are reproducible.  States and actions may be any hashable, JSON-encodable
+values; ReASSIgN uses string states and ``(activation_id, vm_id)`` tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError
+
+__all__ = ["QTable"]
+
+State = Hashable
+Action = Hashable
+
+
+def _encode_key(key) -> list:
+    """Tuple keys become lists for JSON; scalars pass through."""
+    if isinstance(key, tuple):
+        return list(key)
+    return key
+
+
+def _decode_key(key):
+    """Invert :func:`_encode_key` (lists back to tuples)."""
+    if isinstance(key, list):
+        return tuple(key)
+    return key
+
+
+class QTable:
+    """Sparse Q(s, a) table with random lazy initialization.
+
+    Parameters
+    ----------
+    init_scale:
+        Unseen entries are drawn uniformly from ``[0, init_scale)``.  A
+        small positive scale implements the paper's random initialization
+        while keeping initial values near-neutral.
+    seed:
+        Seed for the initialization stream.
+    """
+
+    def __init__(self, init_scale: float = 1e-3, seed: int = 0) -> None:
+        if init_scale < 0:
+            raise ValidationError("init_scale must be >= 0")
+        self._values: Dict[Tuple[State, Action], float] = {}
+        self._init_scale = float(init_scale)
+        self._rng: np.random.Generator = RngService(seed).stream("qtable-init")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def value(self, state: State, action: Action) -> float:
+        """Q(s, a); initializes the entry randomly on first access."""
+        key = (state, action)
+        v = self._values.get(key)
+        if v is None:
+            v = float(self._rng.uniform(0.0, self._init_scale))
+            self._values[key] = v
+        return v
+
+    def peek(self, state: State, action: Action) -> Optional[float]:
+        """Q(s, a) without initializing (None if unseen)."""
+        return self._values.get((state, action))
+
+    def set(self, state: State, action: Action, value: float) -> None:
+        """Overwrite Q(s, a)."""
+        self._values[(state, action)] = float(value)
+
+    def add(self, state: State, action: Action, delta: float) -> float:
+        """Q(s, a) += delta; returns the new value."""
+        new = self.value(state, action) + float(delta)
+        self._values[(state, action)] = new
+        return new
+
+    def max_value(self, state: State, actions: Iterable[Action]) -> float:
+        """max_a Q(s, a) over the given actions (0.0 for an empty set).
+
+        An empty action set corresponds to a terminal/unavailable state,
+        whose future value is zero by convention.
+        """
+        best = None
+        for action in actions:
+            v = self.value(state, action)
+            if best is None or v > best:
+                best = v
+        return best if best is not None else 0.0
+
+    def best_action(
+        self,
+        state: State,
+        actions: Iterable[Action],
+        rng: Optional[np.random.Generator] = None,
+    ) -> Action:
+        """argmax_a Q(s, a); ties broken randomly (or by sort order)."""
+        actions = list(actions)
+        if not actions:
+            raise ValidationError("best_action needs a non-empty action set")
+        values = [self.value(state, a) for a in actions]
+        top = max(values)
+        ties = [a for a, v in zip(actions, values) if v >= top - 1e-15]
+        if len(ties) == 1 or rng is None:
+            return ties[0]
+        return ties[int(rng.integers(len(ties)))]
+
+    def items(self) -> List[Tuple[State, Action, float]]:
+        """All (state, action, value) triples, deterministically ordered."""
+        return sorted(
+            ((s, a, v) for (s, a), v in self._values.items()),
+            key=lambda t: (repr(t[0]), repr(t[1])),
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize all entries (states/actions must be JSON-encodable)."""
+        entries = [
+            [_encode_key(s), _encode_key(a), v] for s, a, v in self.items()
+        ]
+        return json.dumps({"init_scale": self._init_scale, "entries": entries})
+
+    @classmethod
+    def from_json(cls, text: str, seed: int = 0) -> "QTable":
+        """Restore a table serialized by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"malformed QTable JSON: {exc}") from exc
+        table = cls(init_scale=float(data.get("init_scale", 1e-3)), seed=seed)
+        for s, a, v in data.get("entries", []):
+            table.set(_decode_key(s), _decode_key(a), float(v))
+        return table
+
+    def copy(self) -> "QTable":
+        """Independent copy (shares no state, fresh init stream)."""
+        out = QTable(init_scale=self._init_scale)
+        out._values = dict(self._values)
+        return out

@@ -1,0 +1,68 @@
+"""SARSA — the on-policy counterpart of Q-learning (ablation A2).
+
+Identical bookkeeping to :class:`~repro.rl.qlearning.QLearningAgent`, but
+the TD target bootstraps from the action the policy *actually takes* next
+(``Q(s', a')``) rather than the greedy maximum.  Comparing the two on the
+scheduling MDP shows how much ReASSIgN's behaviour owes to off-policy
+maximization.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.rl.environment import DiscreteEnv
+from repro.rl.qlearning import EpisodeStats, QLearningAgent
+from repro.util.validate import ValidationError
+
+__all__ = ["SarsaAgent"]
+
+
+class SarsaAgent(QLearningAgent):
+    """Tabular SARSA(0) agent."""
+
+    def run_episode(self, env: DiscreteEnv) -> EpisodeStats:
+        state = env.reset()
+        stats = EpisodeStats(episode=len(self.history), steps=0, total_reward=0.0)
+        actions = env.actions(state)
+        action: Optional[Hashable] = (
+            self.policy.choose(self.qtable, state, actions, self._rng)
+            if actions
+            else None
+        )
+        for t in range(1, self.max_steps + 1):
+            if action is None:
+                break  # terminal
+            next_state, reward, done = env.step(action)
+            next_actions = [] if done else env.actions(next_state)
+            next_action = (
+                self.policy.choose(self.qtable, next_state, next_actions, self._rng)
+                if next_actions
+                else None
+            )
+            # on-policy target: the value of the action we'll really take
+            future = (
+                self.qtable.value(next_state, next_action)
+                if next_action is not None
+                else 0.0
+            )
+            delta = (
+                reward
+                + self.effective_gamma(t) * future
+                - self.qtable.value(state, action)
+            )
+            self.qtable.add(state, action, self.alpha * delta)
+            stats.steps += 1
+            stats.total_reward += reward
+            stats.rewards.append(reward)
+            state, action = next_state, next_action
+            if done:
+                break
+        else:
+            raise ValidationError(
+                f"episode exceeded max_steps={self.max_steps}; "
+                "the environment may not terminate"
+            )
+        self.policy.episode_finished()
+        self.history.append(stats)
+        return stats

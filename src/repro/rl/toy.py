@@ -1,0 +1,142 @@
+"""Small reference MDPs for validating the tabular agents.
+
+Standard environments from the RL literature, sized so full convergence
+takes milliseconds — used by the test suite to certify each agent's
+update rule, and available to users for sanity-checking custom policies
+or rewards before wiring them into the scheduling loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.rl.environment import DiscreteEnv
+from repro.util.validate import ValidationError
+
+__all__ = ["ChainEnv", "TwoArmBandit", "GridWorld", "CliffWalk"]
+
+
+class ChainEnv(DiscreteEnv):
+    """States 0..n; 'right' reaches the +10 goal, 'left' retreats.
+
+    Optimal policy: always 'right'.  The per-step −0.1 makes dawdling
+    costly, so value must propagate the terminal reward back along the
+    chain — the classic credit-assignment benchmark (and where
+    :class:`~repro.rl.qlambda.QLambdaAgent` visibly beats one-step
+    Q-learning).
+    """
+
+    def __init__(self, n: int = 5) -> None:
+        if n < 1:
+            raise ValidationError("chain length must be >= 1")
+        self.n = n
+        self.state = 0
+
+    def reset(self) -> int:
+        self.state = 0
+        return 0
+
+    def actions(self, state) -> List[str]:
+        return [] if state >= self.n else ["left", "right"]
+
+    def step(self, action) -> Tuple[int, float, bool]:
+        if action == "right":
+            self.state += 1
+        else:
+            self.state = max(0, self.state - 1)
+        done = self.state >= self.n
+        return self.state, (10.0 if done else -0.1), done
+
+
+class TwoArmBandit(DiscreteEnv):
+    """One state, two deterministic arms (1.0 vs 0.2).
+
+    The smallest possible check that an agent's argmax and update wiring
+    agree: after training, Q('s','good') must equal 1.0 exactly.
+    """
+
+    def reset(self) -> str:
+        return "s"
+
+    def actions(self, state) -> List[str]:
+        return [] if state == "done" else ["good", "bad"]
+
+    def step(self, action) -> Tuple[str, float, bool]:
+        return "done", (1.0 if action == "good" else 0.2), True
+
+
+class GridWorld(DiscreteEnv):
+    """A w×h grid: start at (0, 0), goal at the opposite corner.
+
+    Moves cost −1; reaching the goal pays +20.  Optimal return is
+    ``20 - (w + h - 2)``.
+    """
+
+    MOVES = {"up": (0, -1), "down": (0, 1), "left": (-1, 0), "right": (1, 0)}
+
+    def __init__(self, width: int = 4, height: int = 4) -> None:
+        if width < 2 or height < 2:
+            raise ValidationError("grid must be at least 2x2")
+        self.width = width
+        self.height = height
+        self.pos = (0, 0)
+
+    @property
+    def goal(self) -> Tuple[int, int]:
+        return (self.width - 1, self.height - 1)
+
+    def reset(self) -> Tuple[int, int]:
+        self.pos = (0, 0)
+        return self.pos
+
+    def actions(self, state) -> List[str]:
+        return [] if state == self.goal else sorted(self.MOVES)
+
+    def step(self, action) -> Tuple[Tuple[int, int], float, bool]:
+        dx, dy = self.MOVES[action]
+        x = min(max(self.pos[0] + dx, 0), self.width - 1)
+        y = min(max(self.pos[1] + dy, 0), self.height - 1)
+        self.pos = (x, y)
+        done = self.pos == self.goal
+        return self.pos, (20.0 if done else -1.0), done
+
+
+class CliffWalk(DiscreteEnv):
+    """Sutton & Barto's cliff: the shortest path skirts a −100 drop.
+
+    The canonical environment separating Q-learning (walks the cliff
+    edge — optimal but risky under an exploring policy) from SARSA
+    (learns the safer detour).  Stepping off the cliff returns to the
+    start with −100; reaching the goal ends the episode.
+    """
+
+    def __init__(self, width: int = 6) -> None:
+        if width < 3:
+            raise ValidationError("cliff width must be >= 3")
+        self.width = width
+        self.height = 3
+        self.pos = (0, self.height - 1)
+
+    @property
+    def goal(self) -> Tuple[int, int]:
+        return (self.width - 1, self.height - 1)
+
+    def reset(self) -> Tuple[int, int]:
+        self.pos = (0, self.height - 1)
+        return self.pos
+
+    def actions(self, state) -> List[str]:
+        return [] if state == self.goal else ["up", "down", "left", "right"]
+
+    def step(self, action) -> Tuple[Tuple[int, int], float, bool]:
+        dx, dy = GridWorld.MOVES[action]
+        x = min(max(self.pos[0] + dx, 0), self.width - 1)
+        y = min(max(self.pos[1] + dy, 0), self.height - 1)
+        # the bottom row between start and goal is the cliff
+        if y == self.height - 1 and 0 < x < self.width - 1:
+            self.pos = (0, self.height - 1)
+            return self.pos, -100.0, False
+        self.pos = (x, y)
+        if self.pos == self.goal:
+            return self.pos, 0.0, True
+        return self.pos, -1.0, False

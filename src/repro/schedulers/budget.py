@@ -1,0 +1,184 @@
+"""Budget-constrained list scheduling (after Arabnejad et al., 2016).
+
+The paper's introduction cites "low-time complexity budget-deadline
+constrained workflow scheduling on heterogeneous resources" as part of
+the cost-model landscape ReASSIgN wants to escape.
+:class:`BudgetConstrainedScheduler` implements the core idea as a
+HEFT-style planner with a *budget factor*: tasks are prioritized by
+upward rank, and each task is placed on the VM minimizing EFT **among
+the VMs whose usage cost keeps the plan's spend within the remaining
+budget share**; when the budget allows nothing better, the cheapest VM
+wins.
+
+Cost here is pay-per-use (busy seconds × hourly price / 3600), matching
+:meth:`~repro.sim.metrics.SimulationResult.usage_cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dag.graph import Workflow
+from repro.schedulers.base import EstimateModel, SchedulingPlan, StaticScheduler
+from repro.schedulers.heft import upward_ranks
+from repro.schedulers.timeline import SlotTimeline
+from repro.sim.vm import Vm
+from repro.util.validate import ValidationError, check_non_negative
+
+__all__ = ["BudgetConstrainedScheduler", "cheapest_plan_cost", "heft_plan_cost"]
+
+
+def _plan_cost(
+    workflow: Workflow,
+    vms_by_id: Dict[int, Vm],
+    assignment: Dict[int, int],
+    estimates: EstimateModel,
+) -> float:
+    """Estimated pay-per-use cost of an assignment."""
+    total = 0.0
+    for node, vm_id in assignment.items():
+        vm = vms_by_id[vm_id]
+        duration = estimates.total_time(
+            workflow.activation(node), vm, assignment, workflow
+        )
+        total += duration * vm.type.price_per_hour / 3600.0
+    return total
+
+
+def cheapest_plan_cost(
+    workflow: Workflow, vms: Sequence[Vm], estimates: Optional[EstimateModel] = None
+) -> float:
+    """Lower bound: every task on its cheapest-by-cost VM."""
+    estimates = estimates or EstimateModel()
+    by_id = {vm.id: vm for vm in vms}
+    assignment = {}
+    for node in workflow.activation_ids:
+        ac = workflow.activation(node)
+        cheapest = min(
+            vms,
+            key=lambda vm: (
+                estimates.compute_time(ac, vm) * vm.type.price_per_hour,
+                vm.id,
+            ),
+        )
+        assignment[node] = cheapest.id
+    return _plan_cost(workflow, by_id, assignment, estimates)
+
+
+def heft_plan_cost(
+    workflow: Workflow, vms: Sequence[Vm], estimates: Optional[EstimateModel] = None
+) -> float:
+    """Reference point: the cost of the unconstrained HEFT plan."""
+    from repro.schedulers.heft import HeftScheduler
+
+    estimates = estimates or EstimateModel()
+    plan = HeftScheduler(estimates).plan(workflow, vms)
+    return _plan_cost(workflow, {vm.id: vm for vm in vms}, plan.assignment, estimates)
+
+
+class BudgetConstrainedScheduler(StaticScheduler):
+    """HEFT-ranked planning under a monetary budget.
+
+    Parameters
+    ----------
+    budget:
+        Maximum estimated pay-per-use spend (USD).  If even the
+        cheapest-possible plan exceeds it, :meth:`plan` raises.
+    budget_factor:
+        Convenience alternative: budget = cheapest + factor × (HEFT −
+        cheapest).  0 reproduces the cheapest plan, 1 leaves HEFT
+        unconstrained.  Ignored when ``budget`` is given.
+    """
+
+    name = "Budget-HEFT"
+
+    def __init__(
+        self,
+        budget: Optional[float] = None,
+        budget_factor: float = 0.5,
+        estimates: Optional[EstimateModel] = None,
+        single_slot_vms: bool = True,
+    ) -> None:
+        super().__init__(estimates)
+        if budget is not None:
+            check_non_negative("budget", budget)
+        self.budget = budget
+        self.budget_factor = check_non_negative("budget_factor", budget_factor)
+        self.single_slot_vms = bool(single_slot_vms)
+
+    def resolve_budget(self, workflow: Workflow, vms: Sequence[Vm]) -> float:
+        """The effective budget for a given problem."""
+        if self.budget is not None:
+            return self.budget
+        lo = cheapest_plan_cost(workflow, vms, self.estimates)
+        hi = max(heft_plan_cost(workflow, vms, self.estimates), lo)
+        return lo + self.budget_factor * (hi - lo)
+
+    def plan(self, workflow: Workflow, vms: Sequence[Vm]) -> SchedulingPlan:
+        """Compute the budget-constrained plan."""
+        workflow.validate()
+        budget = self.resolve_budget(workflow, vms)
+        floor = cheapest_plan_cost(workflow, vms, self.estimates)
+        if budget < floor - 1e-9:
+            raise ValidationError(
+                f"budget ${budget:.4f} is below the cheapest possible plan "
+                f"(${floor:.4f})"
+            )
+
+        ranks = upward_ranks(workflow, vms, self.estimates)
+        order = sorted(workflow.activation_ids, key=lambda n: (-ranks[n], n))
+        slots: Dict[int, List[SlotTimeline]] = {
+            vm.id: [
+                SlotTimeline()
+                for _ in range(1 if self.single_slot_vms else vm.capacity)
+            ]
+            for vm in vms
+        }
+        placement: Dict[int, int] = {}
+        finish: Dict[int, float] = {}
+        spent = 0.0
+        # per-task budget share: remaining budget spread over remaining
+        # tasks proportionally to their cheapest cost
+        cheapest_costs = {}
+        for node in order:
+            ac = workflow.activation(node)
+            cheapest_costs[node] = min(
+                self.estimates.compute_time(ac, vm)
+                * vm.type.price_per_hour / 3600.0
+                for vm in vms
+            )
+        remaining_floor = sum(cheapest_costs.values())
+
+        for node in order:
+            ac = workflow.activation(node)
+            release = max(
+                (finish[p] for p in workflow.parents(node)), default=0.0
+            )
+            remaining_floor -= cheapest_costs[node]
+            candidates: List[Tuple[float, float, float, float, int, int]] = []
+            for vm in vms:
+                duration = self.estimates.total_time(ac, vm, placement, workflow)
+                cost = duration * vm.type.price_per_hour / 3600.0
+                # feasible if, after paying this, the rest can still be
+                # done at floor prices within the budget
+                feasible = spent + cost + remaining_floor <= budget + 1e-9
+                for slot_idx, timeline in enumerate(slots[vm.id]):
+                    start = timeline.earliest_start(release, duration)
+                    candidates.append(
+                        (0.0 if feasible else 1.0, start + duration, cost,
+                         start, vm.id, slot_idx)
+                    )
+            # prefer feasible placements by EFT; if none feasible, take the
+            # cheapest (the budget floor guarantees this converges)
+            feasible_c = [c for c in candidates if c[0] == 0.0]
+            if feasible_c:
+                chosen = min(feasible_c, key=lambda c: (c[1], c[4]))
+            else:
+                chosen = min(candidates, key=lambda c: (c[2], c[1], c[4]))
+            _, eft, cost, start, vm_id, slot_idx = chosen
+            slots[vm_id][slot_idx].reserve(start, eft - start)
+            placement[node] = vm_id
+            finish[node] = eft
+            spent += cost
+
+        return SchedulingPlan(assignment=placement, priority=order, name=self.name)

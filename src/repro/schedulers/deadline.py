@@ -1,0 +1,163 @@
+"""Deadline-constrained, cost-minimizing planning (the other half of the
+budget-deadline literature the paper cites).
+
+:class:`DeadlineConstrainedScheduler` minimizes *pay-per-use cost*
+subject to a makespan deadline: tasks are taken in HEFT rank order and
+each is placed on the **cheapest** VM whose earliest finish time still
+respects the task's *latest finish time* (deadline minus the critical
+path remaining below the task); when no placement meets the sub-deadline
+the fastest one wins (best effort).
+
+The deadline can be given absolutely or as a ``deadline_factor``
+relative to the unconstrained HEFT makespan estimate (factor 1.0 ≈ as
+fast as HEFT, larger = more slack to save money).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dag.graph import Workflow
+from repro.schedulers.base import EstimateModel, SchedulingPlan, StaticScheduler
+from repro.schedulers.heft import HeftScheduler, upward_ranks
+from repro.schedulers.timeline import SlotTimeline
+from repro.sim.vm import Vm
+from repro.util.validate import ValidationError, check_positive
+
+__all__ = ["DeadlineConstrainedScheduler", "heft_makespan_estimate"]
+
+
+def heft_makespan_estimate(
+    workflow: Workflow, vms: Sequence[Vm], estimates: Optional[EstimateModel] = None
+) -> float:
+    """Planning-time makespan estimate of the unconstrained HEFT plan.
+
+    Replays HEFT's own slot timelines, so the estimate is exactly the
+    EFT of the last task in HEFT's schedule (no simulation needed).
+    """
+    estimates = estimates or EstimateModel()
+    plan = HeftScheduler(estimates).plan(workflow, vms)
+    # replay the plan's placements through timelines to find the EFT
+    slots: Dict[int, SlotTimeline] = {vm.id: SlotTimeline() for vm in vms}
+    vms_by_id = {vm.id: vm for vm in vms}
+    finish: Dict[int, float] = {}
+    makespan = 0.0
+    for node in plan.priority:
+        ac = workflow.activation(node)
+        vm = vms_by_id[plan.vm_of(node)]
+        duration = estimates.total_time(ac, vm, plan.assignment, workflow)
+        release = max((finish[p] for p in workflow.parents(node)), default=0.0)
+        start = slots[vm.id].earliest_start(release, duration)
+        slots[vm.id].reserve(start, duration)
+        finish[node] = start + duration
+        makespan = max(makespan, finish[node])
+    return makespan
+
+
+class DeadlineConstrainedScheduler(StaticScheduler):
+    """Cheapest placement that keeps every task inside its sub-deadline.
+
+    Parameters
+    ----------
+    deadline:
+        Absolute makespan target in seconds.  Mutually exclusive with
+        ``deadline_factor``.
+    deadline_factor:
+        ``deadline = factor x HEFT-estimate`` (default 1.5: 50% slack to
+        trade for savings).
+    """
+
+    name = "Deadline-Cheapest"
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        deadline_factor: float = 1.5,
+        estimates: Optional[EstimateModel] = None,
+        single_slot_vms: bool = True,
+    ) -> None:
+        super().__init__(estimates)
+        if deadline is not None:
+            check_positive("deadline", deadline)
+        self.deadline = deadline
+        self.deadline_factor = check_positive("deadline_factor", deadline_factor)
+        self.single_slot_vms = bool(single_slot_vms)
+
+    def resolve_deadline(self, workflow: Workflow, vms: Sequence[Vm]) -> float:
+        """The effective deadline for a given problem."""
+        if self.deadline is not None:
+            return self.deadline
+        return self.deadline_factor * heft_makespan_estimate(
+            workflow, vms, self.estimates
+        )
+
+    def _downstream_slack(
+        self, workflow: Workflow, vms: Sequence[Vm]
+    ) -> Dict[int, float]:
+        """Per-task reserve: cheapest-case critical path *below* the task.
+
+        A task's latest finish time is ``deadline - slack`` so the rest
+        of its chain can still make it at best-case speeds.
+        """
+        fastest = max(vm.type.speed for vm in vms)
+        slack: Dict[int, float] = {}
+        for node in reversed(workflow.topological_order()):
+            children = workflow.children(node)
+            slack[node] = max(
+                (
+                    slack[c] + workflow.activation(c).runtime / fastest
+                    for c in children
+                ),
+                default=0.0,
+            )
+        return slack
+
+    def plan(self, workflow: Workflow, vms: Sequence[Vm]) -> SchedulingPlan:
+        """Compute the deadline-constrained plan."""
+        workflow.validate()
+        if len(workflow) == 0:
+            raise ValidationError("cannot plan an empty workflow")
+        deadline = self.resolve_deadline(workflow, vms)
+        slack = self._downstream_slack(workflow, vms)
+
+        ranks = upward_ranks(workflow, vms, self.estimates)
+        order = sorted(workflow.activation_ids, key=lambda n: (-ranks[n], n))
+        slots: Dict[int, List[SlotTimeline]] = {
+            vm.id: [
+                SlotTimeline()
+                for _ in range(1 if self.single_slot_vms else vm.capacity)
+            ]
+            for vm in vms
+        }
+        placement: Dict[int, int] = {}
+        finish: Dict[int, float] = {}
+
+        for node in order:
+            ac = workflow.activation(node)
+            release = max(
+                (finish[p] for p in workflow.parents(node)), default=0.0
+            )
+            latest_finish = deadline - slack[node]
+            best_ok: Optional[Tuple[float, float, float, int, int]] = None
+            best_any: Optional[Tuple[float, float, int, int]] = None
+            for vm in vms:
+                duration = self.estimates.total_time(ac, vm, placement, workflow)
+                cost = duration * vm.type.price_per_hour / 3600.0
+                for slot_idx, timeline in enumerate(slots[vm.id]):
+                    start = timeline.earliest_start(release, duration)
+                    eft = start + duration
+                    if best_any is None or eft < best_any[0] - 1e-12:
+                        best_any = (eft, start, vm.id, slot_idx)
+                    if eft <= latest_finish + 1e-9:
+                        key = (cost, eft, start, vm.id, slot_idx)
+                        if best_ok is None or key < best_ok:
+                            best_ok = key
+            if best_ok is not None:
+                _, eft, start, vm_id, slot_idx = best_ok
+            else:  # best effort: nothing meets the sub-deadline
+                eft, start, vm_id, slot_idx = best_any
+            slots[vm_id][slot_idx].reserve(start, eft - start)
+            placement[node] = vm_id
+            finish[node] = eft
+
+        return SchedulingPlan(assignment=placement, priority=order, name=self.name)

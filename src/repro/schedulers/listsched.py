@@ -1,0 +1,213 @@
+"""Classic list-scheduling heuristics: Min-Min, Max-Min, Sufferage, MCT, OLB.
+
+These are the traditional algorithms the paper's introduction cites next
+to HEFT.  All are implemented as static planners over the same slot
+timelines HEFT uses (append allocation, no insertion), differing only in
+how the next (task, slot) pair is chosen:
+
+- **Min-Min** — among ready tasks, commit the (task, slot) pair with the
+  globally minimal earliest finish time (favours short tasks first);
+- **Max-Min** — commit the ready task whose *best* finish time is largest
+  (favours long tasks first);
+- **Sufferage** — commit the ready task that would "suffer" most if denied
+  its best slot (best vs second-best VM finish-time difference);
+- **MCT** — take tasks in topological order, each to its minimal
+  completion-time slot (immediate mode);
+- **OLB** — take tasks in topological order, each to the earliest-available
+  slot regardless of speed (pure load balancing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dag.graph import Workflow
+from repro.schedulers.base import SchedulingPlan, StaticScheduler
+from repro.schedulers.timeline import SlotTimeline
+from repro.sim.vm import Vm
+from repro.util.validate import ValidationError
+
+__all__ = [
+    "MinMinScheduler",
+    "MaxMinScheduler",
+    "SufferageScheduler",
+    "MctScheduler",
+    "OlbScheduler",
+]
+
+
+class _PlannerState:
+    """Shared planning state: slot timelines + placements + finish times."""
+
+    def __init__(self, workflow: Workflow, vms: Sequence[Vm], estimates) -> None:
+        if not vms:
+            raise ValidationError("need at least one VM")
+        self.workflow = workflow
+        self.vms = list(vms)
+        self.estimates = estimates
+        self.slots: Dict[int, List[SlotTimeline]] = {
+            vm.id: [SlotTimeline() for _ in range(vm.capacity)] for vm in vms
+        }
+        self.placement: Dict[int, int] = {}
+        self.finish: Dict[int, float] = {}
+
+    def release_time(self, node: int) -> float:
+        """Earliest start implied by the task's parents."""
+        return max(
+            (self.finish[p] for p in self.workflow.parents(node)), default=0.0
+        )
+
+    def best_on_vm(self, node: int, vm: Vm) -> Tuple[float, float, int]:
+        """(eft, start, slot_idx) of the best slot of ``vm`` for ``node``."""
+        ac = self.workflow.activation(node)
+        duration = self.estimates.total_time(ac, vm, self.placement, self.workflow)
+        release = self.release_time(node)
+        best = (float("inf"), 0.0, -1)
+        for idx, timeline in enumerate(self.slots[vm.id]):
+            start = timeline.earliest_start(release, duration, insertion=False)
+            eft = start + duration
+            if eft < best[0] - 1e-12:
+                best = (eft, start, idx)
+        return best
+
+    def vm_finish_times(self, node: int) -> List[Tuple[float, float, int, int]]:
+        """Sorted [(eft, start, vm_id, slot_idx)] across the fleet."""
+        out = []
+        for vm in self.vms:
+            eft, start, slot_idx = self.best_on_vm(node, vm)
+            out.append((eft, start, vm.id, slot_idx))
+        out.sort(key=lambda t: (t[0], t[2]))
+        return out
+
+    def commit(self, node: int, eft: float, start: float, vm_id: int, slot_idx: int) -> None:
+        """Reserve the chosen slot and record placement/finish."""
+        self.slots[vm_id][slot_idx].reserve(start, eft - start)
+        self.placement[node] = vm_id
+        self.finish[node] = eft
+
+
+class _ReadySetScheduler(StaticScheduler):
+    """Base for batch-mode heuristics operating on the ready set."""
+
+    def plan(self, workflow: Workflow, vms: Sequence[Vm]) -> SchedulingPlan:
+        workflow.validate()
+        state = _PlannerState(workflow, vms, self.estimates)
+        unplaced_parents: Dict[int, int] = {
+            i: len(workflow.parents(i)) for i in workflow.activation_ids
+        }
+        ready: Set[int] = {i for i, n in unplaced_parents.items() if n == 0}
+        priority: List[int] = []
+        while ready:
+            node, choice = self._pick(state, sorted(ready))
+            state.commit(node, *choice)
+            priority.append(node)
+            ready.discard(node)
+            for child in workflow.children(node):
+                unplaced_parents[child] -= 1
+                if unplaced_parents[child] == 0:
+                    ready.add(child)
+        return SchedulingPlan(
+            assignment=state.placement, priority=priority, name=self.name
+        )
+
+    def _pick(
+        self, state: _PlannerState, ready: List[int]
+    ) -> Tuple[int, Tuple[float, float, int, int]]:
+        """Return (node, (eft, start, vm_id, slot_idx)) to commit next."""
+        raise NotImplementedError
+
+
+class MinMinScheduler(_ReadySetScheduler):
+    """Min-Min: minimal earliest finish time over all (ready task, slot)."""
+
+    name = "Min-Min"
+
+    def _pick(self, state, ready):
+        best_node, best_choice = None, None
+        for node in ready:
+            choice = state.vm_finish_times(node)[0]
+            if best_choice is None or choice[0] < best_choice[0] - 1e-12:
+                best_node, best_choice = node, choice
+        return best_node, best_choice
+
+
+class MaxMinScheduler(_ReadySetScheduler):
+    """Max-Min: the ready task with the largest best finish time goes first."""
+
+    name = "Max-Min"
+
+    def _pick(self, state, ready):
+        best_node, best_choice = None, None
+        for node in ready:
+            choice = state.vm_finish_times(node)[0]
+            if best_choice is None or choice[0] > best_choice[0] + 1e-12:
+                best_node, best_choice = node, choice
+        return best_node, best_choice
+
+
+class SufferageScheduler(_ReadySetScheduler):
+    """Sufferage: prioritize the task hurt most by losing its best VM."""
+
+    name = "Sufferage"
+
+    def _pick(self, state, ready):
+        best_node, best_choice, best_suff = None, None, -1.0
+        for node in ready:
+            table = state.vm_finish_times(node)
+            # sufferage compares the best finish on distinct *VMs*
+            first = table[0]
+            second_eft = next(
+                (eft for eft, _, vm_id, _ in table if vm_id != first[2]),
+                first[0],
+            )
+            suff = second_eft - first[0]
+            if suff > best_suff + 1e-12:
+                best_node, best_choice, best_suff = node, first, suff
+        return best_node, best_choice
+
+
+class MctScheduler(StaticScheduler):
+    """MCT: topological order, each task to its min-completion-time slot."""
+
+    name = "MCT"
+
+    def plan(self, workflow: Workflow, vms: Sequence[Vm]) -> SchedulingPlan:
+        workflow.validate()
+        state = _PlannerState(workflow, vms, self.estimates)
+        order = workflow.topological_order()
+        for node in order:
+            eft, start, vm_id, slot_idx = state.vm_finish_times(node)[0]
+            state.commit(node, eft, start, vm_id, slot_idx)
+        return SchedulingPlan(
+            assignment=state.placement, priority=order, name=self.name
+        )
+
+
+class OlbScheduler(StaticScheduler):
+    """OLB: topological order, each task to the earliest-available slot."""
+
+    name = "OLB"
+
+    def plan(self, workflow: Workflow, vms: Sequence[Vm]) -> SchedulingPlan:
+        workflow.validate()
+        state = _PlannerState(workflow, vms, self.estimates)
+        order = workflow.topological_order()
+        for node in order:
+            best: Optional[Tuple[float, float, float, int, int]] = None
+            release = state.release_time(node)
+            ac = workflow.activation(node)
+            for vm in state.vms:
+                duration = state.estimates.total_time(
+                    ac, vm, state.placement, state.workflow
+                )
+                for idx, timeline in enumerate(state.slots[vm.id]):
+                    start = timeline.earliest_start(release, duration, insertion=False)
+                    key = (start, vm.id)  # earliest availability, not speed
+                    if best is None or key < (best[0], best[3]):
+                        best = (start, duration, start + duration, vm.id, idx)
+            assert best is not None
+            start, duration, eft, vm_id, slot_idx = best
+            state.commit(node, eft, start, vm_id, slot_idx)
+        return SchedulingPlan(
+            assignment=state.placement, priority=order, name=self.name
+        )

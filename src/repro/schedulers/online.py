@@ -1,0 +1,94 @@
+"""Simple online schedulers: FCFS, round-robin, random, greedy MCT.
+
+These decide at simulation decision points with no precomputed plan —
+useful baselines and test fixtures.  ``RandomScheduler`` doubles as the
+"ε = 1 forever" degenerate case of ReASSIgN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.schedulers.base import Decision, OnlineScheduler
+from repro.sim.simulator import SimulationContext
+from repro.util.rng import RngService
+
+__all__ = [
+    "FcfsScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "GreedyOnlineScheduler",
+]
+
+
+class FcfsScheduler(OnlineScheduler):
+    """First ready activation (lowest id, earliest ready) to the first idle VM."""
+
+    def select(self, ctx: SimulationContext) -> Optional[Decision]:
+        ready = ctx.ready_activations
+        idle = ctx.idle_vms
+        if not ready or not idle:
+            return None
+        ac = min(ready, key=lambda a: (ctx.ready_time(a.id), a.id))
+        vm = min(idle, key=lambda v: v.id)
+        return (ac.id, vm.id)
+
+
+class RoundRobinScheduler(OnlineScheduler):
+    """Cycle through VM ids; ready activations taken in id order."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, ctx: SimulationContext) -> Optional[Decision]:
+        ready = ctx.ready_activations
+        idle = ctx.idle_vms
+        if not ready or not idle:
+            return None
+        idle_sorted = sorted(idle, key=lambda v: v.id)
+        # advance the cursor to the next idle VM in cyclic id order
+        vm = idle_sorted[self._cursor % len(idle_sorted)]
+        self._cursor += 1
+        return (ready[0].id, vm.id)
+
+
+class RandomScheduler(OnlineScheduler):
+    """Uniformly random (ready activation, idle VM) pairs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng: np.random.Generator = RngService(seed).stream("random-scheduler")
+
+    def select(self, ctx: SimulationContext) -> Optional[Decision]:
+        ready = ctx.ready_activations
+        idle = ctx.idle_vms
+        if not ready or not idle:
+            return None
+        ac = ready[self._rng.integers(len(ready))]
+        vm = idle[self._rng.integers(len(idle))]
+        return (ac.id, vm.id)
+
+
+class GreedyOnlineScheduler(OnlineScheduler):
+    """Online MCT: dispatch the longest ready task to its fastest idle VM.
+
+    A myopic but strong baseline: ranking ready work by nominal runtime
+    and matching it to the VM minimizing estimated (staging + compute)
+    time approximates dynamic min-completion-time scheduling.
+    """
+
+    def select(self, ctx: SimulationContext) -> Optional[Decision]:
+        ready = ctx.ready_activations
+        idle = ctx.idle_vms
+        if not ready or not idle:
+            return None
+        ac = max(ready, key=lambda a: (a.runtime, -a.id))
+        vm = min(
+            idle,
+            key=lambda v: (
+                ctx.estimated_stage_in(ac, v) + ctx.estimated_execution(ac, v),
+                v.id,
+            ),
+        )
+        return (ac.id, vm.id)

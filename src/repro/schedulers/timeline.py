@@ -1,0 +1,71 @@
+"""Per-slot timelines used by static planners.
+
+A :class:`SlotTimeline` tracks the busy intervals of one execution slot
+(one vCPU of one VM) during planning, supporting both append-at-end
+allocation (list heuristics) and HEFT's insertion policy (reuse of gaps
+between already-placed tasks).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.util.validate import ValidationError, check_non_negative
+
+__all__ = ["SlotTimeline"]
+
+_EPS = 1e-9
+
+
+class SlotTimeline:
+    """Busy intervals of one planning slot, kept sorted by start time."""
+
+    def __init__(self) -> None:
+        self._intervals: List[Tuple[float, float]] = []
+
+    @property
+    def intervals(self) -> List[Tuple[float, float]]:
+        """Copy of the (start, end) busy intervals."""
+        return list(self._intervals)
+
+    @property
+    def ready_time(self) -> float:
+        """End of the last busy interval (0 when empty)."""
+        return self._intervals[-1][1] if self._intervals else 0.0
+
+    def earliest_start(
+        self, release: float, duration: float, insertion: bool = True
+    ) -> float:
+        """Earliest start >= ``release`` where ``duration`` fits.
+
+        With ``insertion=True`` (HEFT policy) gaps between existing
+        intervals are considered; otherwise the task goes after the last
+        interval.
+        """
+        check_non_negative("release", release)
+        check_non_negative("duration", duration)
+        if not insertion or not self._intervals:
+            return max(release, self.ready_time)
+        # candidate before the first interval
+        start = release
+        for lo, hi in self._intervals:
+            if start + duration <= lo + _EPS:
+                return start
+            start = max(start, hi)
+        return start
+
+    def reserve(self, start: float, duration: float) -> None:
+        """Mark ``[start, start + duration)`` busy; overlaps are an error."""
+        check_non_negative("start", start)
+        check_non_negative("duration", duration)
+        end = start + duration
+        idx = bisect.bisect_left(self._intervals, (start, end))
+        if idx > 0 and self._intervals[idx - 1][1] > start + _EPS:
+            raise ValidationError("reservation overlaps an earlier interval")
+        if idx < len(self._intervals) and self._intervals[idx][0] < end - _EPS:
+            raise ValidationError("reservation overlaps a later interval")
+        self._intervals.insert(idx, (start, end))
+
+    def __len__(self) -> int:
+        return len(self._intervals)

@@ -1,0 +1,134 @@
+"""Provenance analytics — reading the execution history back.
+
+SciCumulus' provenance database is not write-only: the paper's whole
+premise is that "long history of cloud usage for running workflows
+contains useful information about resource behavior".  This module
+distills that history into the summaries an operator (or the next
+learning run) wants:
+
+- per-VM performance report (mean execution/queue times, §III-B indices);
+- per-activity runtime statistics across executions;
+- scheduler comparison over everything recorded;
+- makespan trend across successive executions of one workflow (is the
+  system getting better as provenance accumulates?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.scicumulus.provenance import ProvenanceStore
+from repro.util.stats import RunningStats
+from repro.util.tables import render_table
+from repro.util.validate import check_probability
+
+__all__ = [
+    "VmReport",
+    "vm_performance_report",
+    "activity_statistics",
+    "scheduler_comparison",
+    "makespan_trend",
+    "render_vm_report",
+]
+
+
+@dataclass(frozen=True)
+class VmReport:
+    """Aggregate §III-B view of one VM across recorded executions."""
+
+    vm_id: int
+    n_activations: int
+    mean_execution: float
+    mean_queue: float
+    performance_index: float  #: P̄i_j at the given µ
+
+
+def vm_performance_report(
+    store: ProvenanceStore,
+    workflow: Optional[str] = None,
+    mu: float = 0.5,
+) -> List[VmReport]:
+    """Per-VM execution history summary (the reward's point of view)."""
+    check_probability("mu", mu)
+    exec_stats: Dict[int, RunningStats] = {}
+    queue_stats: Dict[int, RunningStats] = {}
+    for vm_id, te, tf in store.execution_history(workflow):
+        exec_stats.setdefault(vm_id, RunningStats()).push(te)
+        queue_stats.setdefault(vm_id, RunningStats()).push(tf)
+    out = []
+    for vm_id in sorted(exec_stats):
+        es, qs = exec_stats[vm_id], queue_stats[vm_id]
+        out.append(
+            VmReport(
+                vm_id=vm_id,
+                n_activations=es.count,
+                mean_execution=es.mean,
+                mean_queue=qs.mean,
+                performance_index=es.mean * mu + (1 - mu) * qs.mean,
+            )
+        )
+    return out
+
+
+def render_vm_report(reports: List[VmReport]) -> str:
+    """ASCII table of a VM performance report."""
+    return render_table(
+        ["VM", "activations", "mean te [s]", "mean tf [s]", "P̄i (mu=0.5)"],
+        [
+            (r.vm_id, r.n_activations, round(r.mean_execution, 2),
+             round(r.mean_queue, 2), round(r.performance_index, 2))
+            for r in reports
+        ],
+        title="Provenance: per-VM performance history",
+    )
+
+
+def activity_statistics(
+    store: ProvenanceStore, workflow: Optional[str] = None
+) -> Dict[str, Tuple[int, float, float]]:
+    """activity -> (count, mean execution time, std) across executions."""
+    stats: Dict[str, RunningStats] = {}
+    for row in store.executions(workflow):
+        for (
+            _exec_id, _ac_id, activity, _vm, _ready, start, finish, _att, failed
+        ) in store.activation_rows(row.id):
+            if failed:
+                continue
+            stats.setdefault(activity, RunningStats()).push(finish - start)
+    return {
+        activity: (s.count, s.mean, s.std) for activity, s in sorted(stats.items())
+    }
+
+
+def scheduler_comparison(
+    store: ProvenanceStore, workflow: Optional[str] = None
+) -> Dict[str, Tuple[int, float, float]]:
+    """scheduler -> (runs, mean makespan, mean cost) over recorded runs."""
+    makespans: Dict[str, RunningStats] = {}
+    costs: Dict[str, RunningStats] = {}
+    for row in store.executions(workflow):
+        if row.final_state != "successfully finished":
+            continue
+        makespans.setdefault(row.scheduler, RunningStats()).push(row.makespan)
+        costs.setdefault(row.scheduler, RunningStats()).push(row.cost)
+    return {
+        name: (s.count, s.mean, costs[name].mean)
+        for name, s in sorted(makespans.items())
+    }
+
+
+def makespan_trend(
+    store: ProvenanceStore, workflow: str, scheduler_prefix: str = "ReASSIgN"
+) -> List[float]:
+    """Makespans of successive runs of one workflow by one scheduler family.
+
+    A downward trend is the provenance-warm-start effect: each run
+    resumes from the previous Q-table and history.
+    """
+    return [
+        row.makespan
+        for row in store.executions(workflow)
+        if row.scheduler.startswith(scheduler_prefix)
+        and row.final_state == "successfully finished"
+    ]

@@ -1,0 +1,160 @@
+"""The simulated AWS execution environment ("the real cloud").
+
+The paper learns in WorkflowSim and *executes* on Amazon AWS.  Our
+execution environment is :class:`SimulatedCloud`: the same VM catalog,
+but with the dirty dynamics the learning simulator deliberately omits —
+Gaussian jitter on every execution, t2 burst-credit throttling of micro
+instances under sustained load, and occasional noisy-neighbour
+interference.  That sim-to-real gap is the point of the paper's Table IV:
+plans that look similar in the clean simulator separate on real hardware.
+
+:class:`CloudProfile` bundles the noise knobs so examples/benchmarks can
+request calmer or stormier regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dag.activation import Activation
+from repro.sim.datacenter import Datacenter
+from repro.sim.fluctuation import (
+    BurstThrottleFluctuation,
+    ComposedFluctuation,
+    FluctuationModel,
+    GaussianFluctuation,
+    InterferenceFluctuation,
+)
+from repro.sim.vm import VM_TYPES, Vm
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError, check_non_negative
+
+__all__ = ["CloudProfile", "SimulatedCloud"]
+
+
+@dataclass(frozen=True)
+class CloudProfile:
+    """Noise characteristics of the execution region.
+
+    The defaults model a moderately busy shared region; ``calm()`` and
+    ``stormy()`` give the extremes used in the robustness ablations.
+    """
+
+    jitter_sigma: float = 0.08
+    throttle_credit_seconds: float = 240.0
+    throttle_factor: float = 1.7
+    interference_probability: float = 0.04
+    interference_slowdown: float = 2.0
+    boot_time: float = 45.0
+    storage_latency: float = 0.08  #: shared-storage per-file latency
+
+    def __post_init__(self) -> None:
+        check_non_negative("jitter_sigma", self.jitter_sigma)
+        check_non_negative("boot_time", self.boot_time)
+
+    @classmethod
+    def calm(cls) -> "CloudProfile":
+        """A quiet region: tiny jitter, no throttling or interference."""
+        return cls(
+            jitter_sigma=0.02,
+            throttle_credit_seconds=1e9,
+            interference_probability=0.0,
+            boot_time=30.0,
+        )
+
+    @classmethod
+    def stormy(cls) -> "CloudProfile":
+        """A heavily shared region: strong noise everywhere."""
+        return cls(
+            jitter_sigma=0.15,
+            throttle_credit_seconds=120.0,
+            throttle_factor=2.2,
+            interference_probability=0.10,
+            interference_slowdown=2.5,
+            boot_time=60.0,
+        )
+
+    def fluctuation(self) -> FluctuationModel:
+        """Compose the profile into one fluctuation model."""
+        models: List[FluctuationModel] = [GaussianFluctuation(self.jitter_sigma)]
+        models.append(
+            BurstThrottleFluctuation(
+                credit_seconds=self.throttle_credit_seconds,
+                throttle_factor=self.throttle_factor,
+            )
+        )
+        if self.interference_probability > 0:
+            models.append(
+                InterferenceFluctuation(
+                    probability=self.interference_probability,
+                    slowdown=self.interference_slowdown,
+                )
+            )
+        return ComposedFluctuation(models)
+
+
+class SimulatedCloud:
+    """A deployable AWS-like region.
+
+    Responsibilities: provision the fleet a plan needs (SCStarter's job),
+    sample noisy execution times (used by the MPI engine) and account for
+    cost through the underlying :class:`~repro.sim.datacenter.Datacenter`.
+    """
+
+    def __init__(self, profile: CloudProfile = CloudProfile(), seed: int = 0) -> None:
+        self.profile = profile
+        self.datacenter = Datacenter(
+            name="us-east-1", default_boot_time=profile.boot_time
+        )
+        self._fluctuation = profile.fluctuation()
+        self._rng: np.random.Generator = RngService(seed).stream("cloud")
+        self._busy_time: Dict[int, float] = {}
+
+    # -- deployment ---------------------------------------------------------
+
+    def deploy(self, type_counts: Dict[str, int]) -> List[Vm]:
+        """Provision a fleet (e.g. ``{"t2.micro": 8, "t2.2xlarge": 1}``).
+
+        VM ids follow the paper's convention (micros first).
+        """
+        for name in type_counts:
+            if name not in VM_TYPES:
+                raise ValidationError(f"unknown VM type {name!r}")
+        fleet = self.datacenter.provision_fleet(type_counts)
+        for vm in fleet:
+            self._busy_time.setdefault(vm.id, 0.0)
+        return fleet
+
+    def teardown(self, at: float) -> float:
+        """Release all VMs and return the bill."""
+        self.datacenter.release_all(at)
+        return self.datacenter.bill(at)
+
+    # -- execution sampling --------------------------------------------------
+
+    def execution_time(self, activation: Activation, vm: Vm, now: float) -> float:
+        """Sample the noisy compute time of ``activation`` on ``vm``.
+
+        Staging/messaging costs are the MPI engine's concern; this is pure
+        compute with the region's fluctuation applied.  The VM's cumulative
+        busy time (which drives burst throttling) is updated here.
+        """
+        busy = self._busy_time.get(vm.id, 0.0)
+        factor = self._fluctuation.factor(vm, now, busy, self._rng)
+        duration = vm.execution_time(activation.runtime) * factor
+        self._busy_time[vm.id] = busy + duration
+        return duration
+
+    def transfer_time(self, n_files: int, total_bytes: float, vm: Vm) -> float:
+        """Shared-storage transfer estimate for the MPI engine."""
+        if n_files < 0 or total_bytes < 0:
+            raise ValidationError("negative transfer request")
+        bw = vm.type.bandwidth_bytes_per_s
+        return n_files * self.profile.storage_latency + total_bytes / bw
+
+    def busy_time(self, vm_id: int) -> float:
+        """Cumulative sampled compute seconds of one VM."""
+        return self._busy_time.get(vm_id, 0.0)

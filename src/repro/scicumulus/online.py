@@ -1,0 +1,104 @@
+"""Online (plan-free) execution mode for SciCumulus-RL — future work of
+the paper made concrete.
+
+The paper's pipeline freezes a plan in the simulator and replays it on
+the cloud; its conclusion hints at continuing adaptation.  This module
+executes a workflow on the simulated cloud with a *live* online
+scheduler — e.g. a :class:`~repro.core.reassign.ReassignScheduler`
+carrying a Q-table warmed up in the simulator — so placement decisions
+react to the noise the plan-based mode cannot see.
+
+Implementation: the cloud execution is expressed as a
+:class:`~repro.sim.simulator.WorkflowSimulator` run whose environment is
+the cloud profile's fluctuation stack plus an MPI-overhead network
+decorator (per-dispatch message latency), which is behaviourally
+equivalent to the master/slave engine for scheduling purposes while
+exposing the decision points an online scheduler needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dag.activation import Activation
+from repro.dag.graph import Workflow
+from repro.scicumulus.cloud import CloudProfile
+from repro.scicumulus.mpi_sim import MpiConfig
+from repro.sim.metrics import SimulationResult
+from repro.sim.network import NetworkModel, SharedStorageNetwork
+from repro.sim.simulator import WorkflowSimulator
+from repro.sim.vm import Vm
+
+__all__ = ["MpiOverheadNetwork", "execute_online"]
+
+
+class MpiOverheadNetwork(NetworkModel):
+    """Decorates a network model with per-dispatch MPI messaging costs.
+
+    Each activation's stage-in gains one EXECUTE round-trip worth of
+    latency plus the master's handling overhead; its stage-out gains the
+    DONE message.  This mirrors what
+    :class:`~repro.scicumulus.mpi_sim.MpiExecutionEngine` charges.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[NetworkModel] = None,
+        mpi: MpiConfig = MpiConfig(),
+    ) -> None:
+        self.inner = inner if inner is not None else SharedStorageNetwork()
+        self.mpi = mpi
+
+    def stage_in_time(
+        self, activation: Activation, vm: Vm, file_locations: Dict[str, int]
+    ) -> float:
+        return (
+            self.mpi.master_overhead
+            + self.mpi.message_latency
+            + self.inner.stage_in_time(activation, vm, file_locations)
+        )
+
+    def stage_out_time(self, activation: Activation, vm: Vm) -> float:
+        return self.mpi.message_latency + self.inner.stage_out_time(
+            activation, vm
+        )
+
+
+def execute_online(
+    workflow: Workflow,
+    vms,
+    scheduler,
+    *,
+    profile: CloudProfile = CloudProfile(),
+    mpi: MpiConfig = MpiConfig(),
+    seed: int = 0,
+    max_attempts: int = 3,
+) -> SimulationResult:
+    """Execute a workflow on the noisy cloud with a live scheduler.
+
+    Parameters
+    ----------
+    workflow / vms:
+        Workload and deployed fleet.
+    scheduler:
+        Any :class:`~repro.schedulers.base.OnlineScheduler`; pass a
+        :class:`~repro.core.reassign.ReassignScheduler` holding a
+        simulator-trained Q-table for the adaptive ReASSIgN mode (with
+        ``learning=True`` it even keeps learning on the cloud, feeding
+        Q-updates from real observations).
+    profile / mpi:
+        The execution region's noise and messaging characteristics.
+    max_attempts:
+        Retries per activation (clouds fail; online mode should cope).
+    """
+    sim = WorkflowSimulator(
+        workflow,
+        vms,
+        scheduler,
+        network=MpiOverheadNetwork(SharedStorageNetwork(
+            latency=profile.storage_latency), mpi),
+        fluctuation=profile.fluctuation(),
+        seed=seed,
+        max_attempts=max_attempts,
+    )
+    return sim.run()

@@ -1,0 +1,251 @@
+"""The SciCumulus provenance database (SQLite).
+
+"All data associated with the workflow execution is stored in a
+provenance database.  Such information can be used in future executions
+of ReASSIgN."  The store records executions (one row per run), their
+per-activation records, and learning runs (hyper-parameters, Q-table,
+episode log).  :meth:`ProvenanceStore.execution_history` exposes past
+``(vm_id, te, tf)`` observations in exactly the shape
+:meth:`~repro.rl.reward.PerformanceReward.bootstrap` consumes, and
+:meth:`latest_qtable` lets a new learning run resume from a previous one.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core.episode import LearningResult
+from repro.sim.metrics import SimulationResult
+from repro.util.validate import ValidationError
+
+__all__ = ["ProvenanceStore", "ExecutionRow"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS executions (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    workflow TEXT NOT NULL,
+    scheduler TEXT NOT NULL,
+    fleet TEXT NOT NULL,
+    makespan REAL NOT NULL,
+    final_state TEXT NOT NULL,
+    cost REAL NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS activations (
+    execution_id INTEGER NOT NULL REFERENCES executions(id),
+    activation_id INTEGER NOT NULL,
+    activity TEXT NOT NULL,
+    vm_id INTEGER NOT NULL,
+    ready_time REAL NOT NULL,
+    start_time REAL NOT NULL,
+    finish_time REAL NOT NULL,
+    attempts INTEGER NOT NULL,
+    failed INTEGER NOT NULL,
+    PRIMARY KEY (execution_id, activation_id)
+);
+CREATE TABLE IF NOT EXISTS learning_runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    workflow TEXT NOT NULL,
+    fleet TEXT NOT NULL,
+    params TEXT NOT NULL,
+    episodes INTEGER NOT NULL,
+    learning_time REAL NOT NULL,
+    simulated_makespan REAL NOT NULL,
+    payload TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class ExecutionRow:
+    """Summary row of one recorded execution."""
+
+    id: int
+    workflow: str
+    scheduler: str
+    fleet: str
+    makespan: float
+    final_state: str
+    cost: float
+
+
+class ProvenanceStore:
+    """SQLite-backed provenance store.
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``":memory:"`` (default) for an ephemeral store.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- recording ----------------------------------------------------------
+
+    def record_execution(
+        self,
+        result: SimulationResult,
+        scheduler: str,
+        fleet: str,
+        cost: float = 0.0,
+    ) -> int:
+        """Store one execution + its activation records; returns its id."""
+        cur = self._conn.execute(
+            "INSERT INTO executions (workflow, scheduler, fleet, makespan,"
+            " final_state, cost, created_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                result.workflow_name,
+                scheduler,
+                fleet,
+                result.makespan,
+                result.final_state,
+                cost,
+                time.time(),
+            ),
+        )
+        execution_id = int(cur.lastrowid)
+        self._conn.executemany(
+            "INSERT INTO activations VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    execution_id,
+                    r.activation_id,
+                    r.activity,
+                    r.vm_id,
+                    r.ready_time,
+                    r.start_time,
+                    r.finish_time,
+                    r.attempts,
+                    int(r.failed),
+                )
+                for r in result.records
+            ],
+        )
+        self._conn.commit()
+        return execution_id
+
+    def record_learning_run(
+        self,
+        workflow: str,
+        fleet: str,
+        params_label: str,
+        result: LearningResult,
+    ) -> int:
+        """Store a full learning run (episodes + Q-table); returns its id."""
+        cur = self._conn.execute(
+            "INSERT INTO learning_runs (workflow, fleet, params, episodes,"
+            " learning_time, simulated_makespan, payload, created_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                workflow,
+                fleet,
+                params_label,
+                result.n_episodes,
+                result.learning_time,
+                result.simulated_makespan,
+                result.to_json(),
+                time.time(),
+            ),
+        )
+        self._conn.commit()
+        return int(cur.lastrowid)
+
+    # -- queries ------------------------------------------------------------
+
+    def executions(self, workflow: Optional[str] = None) -> List[ExecutionRow]:
+        """All recorded executions, newest last."""
+        sql = (
+            "SELECT id, workflow, scheduler, fleet, makespan, final_state, cost"
+            " FROM executions"
+        )
+        args: tuple = ()
+        if workflow is not None:
+            sql += " WHERE workflow = ?"
+            args = (workflow,)
+        sql += " ORDER BY id"
+        return [ExecutionRow(*row) for row in self._conn.execute(sql, args)]
+
+    def execution_history(
+        self, workflow: Optional[str] = None, fleet: Optional[str] = None
+    ) -> List[Tuple[int, float, float]]:
+        """Past ``(vm_id, te, tf)`` observations for reward bootstrapping."""
+        sql = (
+            "SELECT a.vm_id, a.finish_time - a.start_time,"
+            " a.start_time - a.ready_time"
+            " FROM activations a JOIN executions e ON a.execution_id = e.id"
+            " WHERE a.failed = 0"
+        )
+        args: list = []
+        if workflow is not None:
+            sql += " AND e.workflow = ?"
+            args.append(workflow)
+        if fleet is not None:
+            sql += " AND e.fleet = ?"
+            args.append(fleet)
+        sql += " ORDER BY a.execution_id, a.finish_time"
+        return [
+            (int(vm), float(te), float(tf))
+            for vm, te, tf in self._conn.execute(sql, args)
+        ]
+
+    def latest_qtable(
+        self, workflow: str, fleet: str, params_label: Optional[str] = None
+    ) -> Optional[str]:
+        """The most recent learning run's Q-table JSON, or None."""
+        sql = (
+            "SELECT payload FROM learning_runs WHERE workflow = ? AND fleet = ?"
+        )
+        args: list = [workflow, fleet]
+        if params_label is not None:
+            sql += " AND params = ?"
+            args.append(params_label)
+        sql += " ORDER BY id DESC LIMIT 1"
+        row = self._conn.execute(sql, args).fetchone()
+        if row is None:
+            return None
+        payload = json.loads(row[0])
+        return json.dumps(payload["qtable"])
+
+    def learning_runs(self, workflow: Optional[str] = None) -> List[Tuple[int, str, str, str, int, float, float]]:
+        """(id, workflow, fleet, params, episodes, learning_time, makespan)."""
+        sql = (
+            "SELECT id, workflow, fleet, params, episodes, learning_time,"
+            " simulated_makespan FROM learning_runs"
+        )
+        args: tuple = ()
+        if workflow is not None:
+            sql += " WHERE workflow = ?"
+            args = (workflow,)
+        sql += " ORDER BY id"
+        return list(self._conn.execute(sql, args))
+
+    def activation_rows(self, execution_id: int) -> List[tuple]:
+        """Raw activation rows of one execution (for inspection/tests)."""
+        rows = list(
+            self._conn.execute(
+                "SELECT * FROM activations WHERE execution_id = ?"
+                " ORDER BY activation_id",
+                (execution_id,),
+            )
+        )
+        if not rows:
+            raise ValidationError(f"unknown execution {execution_id}")
+        return rows

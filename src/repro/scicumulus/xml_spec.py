@@ -1,0 +1,110 @@
+"""SciCumulus workflow-specification XML.
+
+SCSetup "is responsible for loading the workflow specification (an XML
+file)".  SciCumulus describes workflows at the *activity* level (programs
++ relations), with activations derived from the data; our specification
+keeps the activation-level detail so a round trip is lossless:
+
+.. code-block:: xml
+
+    <SciCumulus tag="montage-50">
+      <Activity name="mProjectPP">
+        <Activation id="0" runtime="13.2">
+          <InputFile name="raw_0.fits" size="4123456"/>
+          <OutputFile name="proj_0.fits" size="8001234"/>
+        </Activation>
+        ...
+      </Activity>
+      <Relation parent="0" child="11"/>
+      ...
+    </SciCumulus>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.dag.activation import Activation, File
+from repro.dag.graph import Workflow
+from repro.util.validate import ValidationError
+
+__all__ = ["workflow_to_xml", "workflow_from_xml"]
+
+
+def workflow_to_xml(workflow: Workflow, path: Union[str, Path, None] = None) -> str:
+    """Serialize a workflow to SciCumulus specification XML."""
+    root = ET.Element("SciCumulus", {"tag": workflow.name})
+    by_activity: Dict[str, List[Activation]] = {}
+    for ac in workflow.activations:
+        by_activity.setdefault(ac.activity, []).append(ac)
+    for activity in sorted(by_activity):
+        act_el = ET.SubElement(root, "Activity", {"name": activity})
+        for ac in by_activity[activity]:
+            ac_el = ET.SubElement(
+                act_el,
+                "Activation",
+                {"id": str(ac.id), "runtime": f"{ac.runtime:.6f}"},
+            )
+            for f in ac.inputs:
+                ET.SubElement(
+                    ac_el, "InputFile", {"name": f.name, "size": f"{f.size_bytes:.0f}"}
+                )
+            for f in ac.outputs:
+                ET.SubElement(
+                    ac_el, "OutputFile", {"name": f.name, "size": f"{f.size_bytes:.0f}"}
+                )
+    for parent, child in workflow.edges:
+        ET.SubElement(root, "Relation", {"parent": str(parent), "child": str(child)})
+    text = ET.tostring(root, encoding="unicode")
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def workflow_from_xml(text: str) -> Workflow:
+    """Parse a specification produced by :func:`workflow_to_xml`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ValidationError(f"malformed SciCumulus XML: {exc}") from exc
+    if root.tag != "SciCumulus":
+        raise ValidationError(f"expected <SciCumulus> root, got <{root.tag}>")
+    wf = Workflow(root.get("tag", "scicumulus-workflow"))
+    for act_el in root.findall("Activity"):
+        activity = act_el.get("name")
+        if not activity:
+            raise ValidationError("Activity element without a name")
+        for ac_el in act_el.findall("Activation"):
+            ac_id = ac_el.get("id")
+            runtime = ac_el.get("runtime")
+            if ac_id is None or runtime is None:
+                raise ValidationError(
+                    f"Activation under {activity!r} missing id/runtime"
+                )
+            inputs = tuple(
+                File(e.get("name", ""), float(e.get("size", "0")))
+                for e in ac_el.findall("InputFile")
+            )
+            outputs = tuple(
+                File(e.get("name", ""), float(e.get("size", "0")))
+                for e in ac_el.findall("OutputFile")
+            )
+            wf.add_activation(
+                Activation(
+                    id=int(ac_id),
+                    activity=activity,
+                    runtime=float(runtime),
+                    inputs=inputs,
+                    outputs=outputs,
+                )
+            )
+    for rel in root.findall("Relation"):
+        parent = rel.get("parent")
+        child = rel.get("child")
+        if parent is None or child is None:
+            raise ValidationError("Relation element missing parent/child")
+        wf.add_dependency(int(parent), int(child))
+    wf.validate()
+    return wf

@@ -1,0 +1,99 @@
+"""Event heap for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``: the sequence number
+makes ordering total and FIFO among simultaneous equal-priority events, so
+simulations are bit-for-bit reproducible.  Events support O(1) logical
+cancellation (lazy deletion), which the migration and failure models use to
+reschedule in-flight completions.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.util.validate import ValidationError
+
+__all__ = ["EventType", "Event", "EventQueue"]
+
+
+class EventType(enum.IntEnum):
+    """Kinds of simulation events; the int value doubles as priority.
+
+    Lower value = processed first among simultaneous events.  Completions
+    precede dispatch so a core freed at time *t* can be reused at *t*.
+    """
+
+    VM_READY = 0  #: VM finished booting
+    MIGRATION_END = 1  #: VM resumes after live migration
+    ACTIVATION_DONE = 2  #: activation completed (success or failure)
+    REVOCATION = 3  #: spot VM reclaimed by the provider (permanent)
+    MIGRATION_START = 4  #: VM begins a live migration
+    DISPATCH = 5  #: scheduler decision point
+    END_OF_SIMULATION = 6  #: safety horizon
+
+
+@dataclass
+class Event:
+    """A scheduled occurrence in simulated time."""
+
+    time: float
+    type: EventType
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as void; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> Event:
+        """Schedule ``event``; returns it (handy for later cancellation)."""
+        if event.time < 0:
+            raise ValidationError(f"event time must be >= 0, got {event.time}")
+        heapq.heappush(
+            self._heap, (event.time, int(event.type), next(self._counter), event)
+        )
+        return event
+
+    def schedule(
+        self, time: float, type: EventType, payload: Any = None
+    ) -> Event:
+        """Convenience constructor + push."""
+        return self.push(Event(time=time, type=type, payload=payload))
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        while self._heap:
+            t, _, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return t
+        return None
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events; O(n), intended for tests."""
+        return sum(1 for _, _, _, e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,70 @@
+"""Failure injection.
+
+The paper's state machine includes *finished with a failure* — "a problem
+in the hardware or other issues".  A :class:`FailureModel` decides, at
+dispatch time, whether a given execution attempt will fail (and the
+simulator then applies the retry policy).  Failed attempts still consume
+VM time (``failure_runtime_fraction`` of the nominal execution), matching
+how real tasks crash part-way through.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.dag.activation import Activation
+from repro.sim.vm import Vm
+from repro.util.validate import check_probability
+
+__all__ = ["FailureModel", "NoFailures", "BernoulliFailures"]
+
+
+class FailureModel(abc.ABC):
+    """Decides whether one execution attempt fails."""
+
+    #: fraction of the (fluctuated) execution time consumed before crashing
+    failure_runtime_fraction: float = 0.5
+
+    @abc.abstractmethod
+    def attempt_fails(
+        self,
+        activation: Activation,
+        vm: Vm,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> bool:
+        """True if this attempt (0-based) of ``activation`` on ``vm`` fails."""
+
+
+class NoFailures(FailureModel):
+    """Every attempt succeeds."""
+
+    def attempt_fails(self, activation, vm, attempt, rng):
+        return False
+
+
+class BernoulliFailures(FailureModel):
+    """Each attempt independently fails with a fixed probability.
+
+    Optionally failures can be biased towards a specific activity (e.g. a
+    flaky program) or VM id (e.g. a bad host).
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        activity: str = "",
+        vm_id: int = -1,
+    ) -> None:
+        self.probability = check_probability("probability", probability)
+        self.activity = activity
+        self.vm_id = vm_id
+
+    def attempt_fails(self, activation, vm, attempt, rng):
+        if self.activity and activation.activity != self.activity:
+            return False
+        if self.vm_id >= 0 and vm.id != self.vm_id:
+            return False
+        return bool(rng.random() < self.probability)

@@ -1,0 +1,137 @@
+"""Performance-fluctuation models.
+
+The paper's core motivation is that clouds exhibit *performance
+fluctuations* that cost models fail to capture.  A
+:class:`FluctuationModel` multiplies an activation's nominal execution
+time by a sampled factor >= some floor; composing models layers effects.
+
+- :class:`GaussianFluctuation` — lognormal-ish jitter around 1.0 (multi-
+  tenant noise on every execution);
+- :class:`BurstThrottleFluctuation` — t2 burstable credit exhaustion: a VM
+  that has been busy for longer than its credit window runs slower, which
+  penalizes piling work on micro instances;
+- :class:`InterferenceFluctuation` — occasional noisy-neighbour episodes
+  that slow a VM by a large factor with small probability.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.vm import Vm
+from repro.util.validate import check_non_negative, check_positive, check_probability
+
+__all__ = [
+    "FluctuationModel",
+    "NoFluctuation",
+    "GaussianFluctuation",
+    "BurstThrottleFluctuation",
+    "InterferenceFluctuation",
+    "ComposedFluctuation",
+]
+
+_MIN_FACTOR = 0.05  #: hard floor: nothing runs 20x faster than nominal
+
+
+class FluctuationModel(abc.ABC):
+    """Samples a multiplicative slowdown for one execution."""
+
+    @abc.abstractmethod
+    def factor(
+        self, vm: Vm, now: float, busy_time: float, rng: np.random.Generator
+    ) -> float:
+        """Multiplier on nominal execution time (1.0 = nominal).
+
+        Parameters
+        ----------
+        vm:
+            The executing VM.
+        now:
+            Current simulated time.
+        busy_time:
+            Cumulative busy seconds already accrued by this VM (drives
+            credit-exhaustion models).
+        rng:
+            The simulation's fluctuation stream.
+        """
+
+    @staticmethod
+    def _clamp(value: float) -> float:
+        return max(float(value), _MIN_FACTOR)
+
+
+class NoFluctuation(FluctuationModel):
+    """Deterministic executions (the clean learning simulator)."""
+
+    def factor(self, vm, now, busy_time, rng):
+        return 1.0
+
+
+class GaussianFluctuation(FluctuationModel):
+    """Symmetric jitter: factor ~ max(floor, N(1, sigma))."""
+
+    def __init__(self, sigma: float = 0.1) -> None:
+        self.sigma = check_non_negative("sigma", sigma)
+
+    def factor(self, vm, now, busy_time, rng):
+        return self._clamp(rng.normal(1.0, self.sigma))
+
+
+class BurstThrottleFluctuation(FluctuationModel):
+    """Credit exhaustion for burstable instances.
+
+    Once a burstable VM (identified by name prefix, default the whole
+    ``t2`` family's 1-vCPU members) has accumulated ``credit_seconds`` of
+    busy time, subsequent executions run ``throttle_factor`` x slower —
+    modelling baseline CPU after the burst budget is gone.
+    """
+
+    def __init__(
+        self,
+        credit_seconds: float = 300.0,
+        throttle_factor: float = 1.6,
+        burstable_max_vcpus: int = 1,
+    ) -> None:
+        self.credit_seconds = check_positive("credit_seconds", credit_seconds)
+        self.throttle_factor = check_positive("throttle_factor", throttle_factor)
+        if self.throttle_factor < 1.0:
+            raise ValueError("throttle_factor must be >= 1.0")
+        self.burstable_max_vcpus = int(burstable_max_vcpus)
+
+    def factor(self, vm, now, busy_time, rng):
+        if vm.type.vcpus <= self.burstable_max_vcpus and busy_time > self.credit_seconds:
+            return self.throttle_factor
+        return 1.0
+
+
+class InterferenceFluctuation(FluctuationModel):
+    """Noisy-neighbour episodes: with probability p, slow down a lot."""
+
+    def __init__(self, probability: float = 0.05, slowdown: float = 2.0) -> None:
+        self.probability = check_probability("probability", probability)
+        self.slowdown = check_positive("slowdown", slowdown)
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1.0")
+
+    def factor(self, vm, now, busy_time, rng):
+        if rng.random() < self.probability:
+            return self.slowdown
+        return 1.0
+
+
+class ComposedFluctuation(FluctuationModel):
+    """Product of several models' factors."""
+
+    def __init__(self, models: Sequence[FluctuationModel]) -> None:
+        if not models:
+            raise ValueError("ComposedFluctuation needs at least one model")
+        self.models = list(models)
+
+    def factor(self, vm, now, busy_time, rng):
+        out = 1.0
+        for model in self.models:
+            out *= model.factor(vm, now, busy_time, rng)
+        return self._clamp(out)

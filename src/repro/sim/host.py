@@ -1,0 +1,152 @@
+"""Physical hosts: VM placement and host-level (correlated) failures.
+
+CloudSim — WorkflowSim's substrate — models datacenters as physical
+hosts onto which VMs are packed; a host outage takes every resident VM
+with it, and host maintenance is what triggers live migrations.  This
+module provides that layer:
+
+- :class:`Host` — capacity (pCPUs, RAM) and resident VMs;
+- :class:`HostPool` — first-fit / best-fit VM packing over a set of
+  hosts;
+- :func:`host_failure_revocations` — translate a host outage into
+  simultaneous :class:`~repro.sim.spot.Revocation` events for its
+  resident VMs (plugs straight into the simulator's revocation support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.sim.spot import Revocation
+from repro.sim.vm import Vm
+from repro.util.validate import ValidationError, check_non_negative, check_positive
+
+__all__ = ["Host", "HostPool", "host_failure_revocations"]
+
+
+@dataclass
+class Host:
+    """One physical machine."""
+
+    id: int
+    pcpus: int
+    ram_gb: float
+    vms: List[Vm] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValidationError("host id must be >= 0")
+        if self.pcpus < 1:
+            raise ValidationError("pcpus must be >= 1")
+        check_positive("ram_gb", self.ram_gb)
+
+    @property
+    def used_pcpus(self) -> int:
+        return sum(vm.type.vcpus for vm in self.vms)
+
+    @property
+    def used_ram_gb(self) -> float:
+        return sum(vm.type.ram_gb for vm in self.vms)
+
+    def fits(self, vm: Vm) -> bool:
+        """True if the VM's vCPUs and RAM fit in the remaining capacity."""
+        return (
+            self.used_pcpus + vm.type.vcpus <= self.pcpus
+            and self.used_ram_gb + vm.type.ram_gb <= self.ram_gb
+        )
+
+    def place(self, vm: Vm) -> None:
+        if not self.fits(vm):
+            raise ValidationError(
+                f"vm {vm.id} ({vm.type.name}) does not fit on host {self.id}"
+            )
+        self.vms.append(vm)
+
+    def remove(self, vm_id: int) -> Vm:
+        for i, vm in enumerate(self.vms):
+            if vm.id == vm_id:
+                return self.vms.pop(i)
+        raise ValidationError(f"vm {vm_id} not on host {self.id}")
+
+
+class HostPool:
+    """A set of hosts with bin-packing VM placement.
+
+    Parameters
+    ----------
+    hosts:
+        The physical machines.
+    policy:
+        ``"first-fit"`` (lowest-id host with room) or ``"best-fit"``
+        (feasible host with the least remaining pCPUs — packs tighter,
+        which concentrates blast radius; a deliberate trade-off the
+        host-failure tests expose).
+    """
+
+    def __init__(self, hosts: Sequence[Host], policy: str = "first-fit") -> None:
+        if not hosts:
+            raise ValidationError("need at least one host")
+        ids = [h.id for h in hosts]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("host ids must be unique")
+        if policy not in ("first-fit", "best-fit"):
+            raise ValidationError(f"unknown placement policy {policy!r}")
+        self.hosts = sorted(hosts, key=lambda h: h.id)
+        self.policy = policy
+        self._host_of: Dict[int, int] = {}
+
+    def place(self, vm: Vm) -> Host:
+        """Place one VM; returns the chosen host."""
+        if vm.id in self._host_of:
+            raise ValidationError(f"vm {vm.id} already placed")
+        candidates = [h for h in self.hosts if h.fits(vm)]
+        if not candidates:
+            raise ValidationError(
+                f"no host can fit vm {vm.id} ({vm.type.name})"
+            )
+        if self.policy == "first-fit":
+            chosen = candidates[0]
+        else:  # best-fit: least remaining pCPU slack after placement
+            chosen = min(
+                candidates, key=lambda h: (h.pcpus - h.used_pcpus, h.id)
+            )
+        chosen.place(vm)
+        self._host_of[vm.id] = chosen.id
+        return chosen
+
+    def place_fleet(self, vms: Sequence[Vm]) -> Dict[int, int]:
+        """Place all VMs (big first — standard bin-packing order).
+
+        Returns vm id -> host id.
+        """
+        for vm in sorted(vms, key=lambda v: (-v.type.vcpus, v.id)):
+            self.place(vm)
+        return dict(self._host_of)
+
+    def host_of(self, vm_id: int) -> Host:
+        try:
+            host_id = self._host_of[vm_id]
+        except KeyError:
+            raise ValidationError(f"vm {vm_id} is not placed") from None
+        return next(h for h in self.hosts if h.id == host_id)
+
+    def vms_on(self, host_id: int) -> List[Vm]:
+        for h in self.hosts:
+            if h.id == host_id:
+                return list(h.vms)
+        raise ValidationError(f"unknown host {host_id}")
+
+
+def host_failure_revocations(
+    pool: HostPool, host_id: int, at: float
+) -> List[Revocation]:
+    """Model a host outage: every resident VM is revoked at ``at``.
+
+    Feed the result into a fixed revocation model for the simulator —
+    the correlated-failure analogue of independent spot reclamation.
+    """
+    check_non_negative("at", at)
+    return [
+        Revocation(vm_id=vm.id, time=at) for vm in pool.vms_on(host_id)
+    ]

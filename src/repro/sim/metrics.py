@@ -1,0 +1,195 @@
+"""Simulation outcome records and aggregate metrics.
+
+The per-activation :class:`ActivationRecord` captures exactly the times the
+paper's reward function consumes: ``te`` (execution time on the VM,
+including staging), ``tf`` (queue time between becoming ready and being
+dispatched) and ``tt = te + tf``.  :class:`SimulationResult` aggregates a
+full run: makespan, monetary cost, per-VM utilization and success state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.sim.vm import Vm
+from repro.util.validate import ValidationError
+
+__all__ = ["ActivationRecord", "VmUsage", "SimulationResult"]
+
+
+@dataclass
+class ActivationRecord:
+    """Execution record of one activation (final successful attempt).
+
+    Attributes
+    ----------
+    ready_time:
+        When all dependencies were satisfied.
+    start_time:
+        When the activation was dispatched to the VM (staging starts here).
+    finish_time:
+        When outputs were published.
+    attempts:
+        Number of execution attempts (1 = no failures).
+    failed:
+        True if the activation terminally failed.
+    """
+
+    activation_id: int
+    activity: str
+    vm_id: int
+    ready_time: float
+    start_time: float
+    finish_time: float
+    stage_in_time: float = 0.0
+    attempts: int = 1
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        if not (self.ready_time <= self.start_time <= self.finish_time):
+            raise ValidationError(
+                f"activation {self.activation_id}: inconsistent times "
+                f"ready={self.ready_time} start={self.start_time} "
+                f"finish={self.finish_time}"
+            )
+
+    @property
+    def queue_time(self) -> float:
+        """``tf_i`` — seconds spent READY before dispatch."""
+        return self.start_time - self.ready_time
+
+    @property
+    def execution_time(self) -> float:
+        """``te_i`` — wall time on the VM (staging + compute + publish)."""
+        return self.finish_time - self.start_time
+
+    @property
+    def total_time(self) -> float:
+        """``tt_i = te_i + tf_i``."""
+        return self.execution_time + self.queue_time
+
+
+@dataclass
+class VmUsage:
+    """Per-VM aggregate of a run."""
+
+    vm_id: int
+    type_name: str
+    n_activations: int
+    busy_time: float
+    first_start: float
+    last_finish: float
+
+    def utilization(self, makespan: float, capacity: int) -> float:
+        """Busy fraction of total capacity-time over the makespan."""
+        if makespan <= 0:
+            return 0.0
+        return self.busy_time / (makespan * capacity)
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one simulated workflow execution."""
+
+    workflow_name: str
+    records: List[ActivationRecord]
+    makespan: float
+    final_state: str  #: "successfully finished" | "finished with failure"
+    vms: Sequence[Vm] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_id: Dict[int, ActivationRecord] = {
+            r.activation_id: r for r in self.records
+        }
+
+    @property
+    def succeeded(self) -> bool:
+        return self.final_state == "successfully finished"
+
+    def record(self, activation_id: int) -> ActivationRecord:
+        """Record for one activation."""
+        try:
+            return self._by_id[activation_id]
+        except KeyError:
+            raise ValidationError(
+                f"no record for activation {activation_id}"
+            ) from None
+
+    @property
+    def assignment(self) -> Dict[int, int]:
+        """activation id -> VM id (the scheduling plan actually realized)."""
+        return {r.activation_id: r.vm_id for r in self.records}
+
+    def vm_usage(self) -> List[VmUsage]:
+        """Per-VM aggregates, sorted by VM id."""
+        agg: Dict[int, VmUsage] = {}
+        types = {vm.id: vm.type.name for vm in self.vms}
+        for r in self.records:
+            u = agg.get(r.vm_id)
+            if u is None:
+                agg[r.vm_id] = VmUsage(
+                    vm_id=r.vm_id,
+                    type_name=types.get(r.vm_id, "?"),
+                    n_activations=1,
+                    busy_time=r.execution_time,
+                    first_start=r.start_time,
+                    last_finish=r.finish_time,
+                )
+            else:
+                u.n_activations += 1
+                u.busy_time += r.execution_time
+                u.first_start = min(u.first_start, r.start_time)
+                u.last_finish = max(u.last_finish, r.finish_time)
+        return [agg[k] for k in sorted(agg)]
+
+    def cost(self, per_second_billing: bool = False) -> float:
+        """Monetary cost of the fleet over the makespan.
+
+        Default is the paper-era AWS model: every provisioned VM is billed
+        per started hour for the whole run.  ``per_second_billing`` switches
+        to modern per-second billing with a 60 s minimum.
+        """
+        total = 0.0
+        for vm in self.vms:
+            rate = vm.type.price_per_hour
+            if per_second_billing:
+                total += rate * max(self.makespan, 60.0) / 3600.0
+            else:
+                total += rate * max(1, math.ceil(self.makespan / 3600.0))
+        return total
+
+    def usage_cost(self) -> float:
+        """Pay-per-use cost: busy VM-seconds weighted by each VM's price.
+
+        Unlike :meth:`cost`, which bills the whole provisioned fleet for
+        the makespan, this counts only the seconds VMs actually computed —
+        the metric that differentiates *plans* on a fixed fleet (used by
+        the cost-awareness ablation).
+        """
+        prices = {vm.id: vm.type.price_per_hour for vm in self.vms}
+        total = 0.0
+        for r in self.records:
+            total += r.execution_time * prices.get(r.vm_id, 0.0) / 3600.0
+        return total
+
+    @property
+    def mean_queue_time(self) -> float:
+        """Average ``tf`` over all activations."""
+        if not self.records:
+            return 0.0
+        return sum(r.queue_time for r in self.records) / len(self.records)
+
+    @property
+    def mean_execution_time(self) -> float:
+        """Average ``te`` over all activations."""
+        if not self.records:
+            return 0.0
+        return sum(r.execution_time for r in self.records) / len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult({self.workflow_name!r}, makespan={self.makespan:.2f}, "
+            f"state={self.final_state!r}, activations={len(self.records)})"
+        )

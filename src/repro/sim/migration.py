@@ -1,0 +1,93 @@
+"""Live-migration modelling.
+
+Live migration — the other cloud characteristic the paper's introduction
+highlights as hard to put in a cost model — shows up to a tenant as a
+window during which a VM is briefly paused and its work delayed.  A
+:class:`MigrationModel` yields a schedule of ``(start_time, downtime)``
+windows per VM; during a window the simulator delays the completion of
+in-flight activations by the downtime and refuses new dispatches to the VM.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.sim.vm import Vm
+from repro.util.validate import check_non_negative, check_positive
+
+__all__ = ["MigrationWindow", "MigrationModel", "NoMigrations", "PeriodicMigrations"]
+
+
+@dataclass(frozen=True)
+class MigrationWindow:
+    """One live-migration occurrence on a VM."""
+
+    vm_id: int
+    start: float
+    downtime: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("start", self.start)
+        check_positive("downtime", self.downtime)
+
+
+class MigrationModel(abc.ABC):
+    """Produces migration windows for a fleet over a time horizon."""
+
+    @abc.abstractmethod
+    def windows(
+        self,
+        vms: Sequence[Vm],
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> List[MigrationWindow]:
+        """All migration windows within ``[0, horizon]``."""
+
+
+class NoMigrations(MigrationModel):
+    """No live migrations occur."""
+
+    def windows(self, vms, horizon, rng):
+        return []
+
+
+class PeriodicMigrations(MigrationModel):
+    """Each VM migrates roughly every ``mean_interval`` seconds.
+
+    Inter-migration gaps are exponential (memoryless, the standard model
+    for provider-initiated maintenance), downtimes are uniform within
+    ``[min_downtime, max_downtime]``.
+    """
+
+    def __init__(
+        self,
+        mean_interval: float = 600.0,
+        min_downtime: float = 5.0,
+        max_downtime: float = 30.0,
+    ) -> None:
+        self.mean_interval = check_positive("mean_interval", mean_interval)
+        self.min_downtime = check_positive("min_downtime", min_downtime)
+        self.max_downtime = check_positive("max_downtime", max_downtime)
+        if max_downtime < min_downtime:
+            raise ValueError("max_downtime must be >= min_downtime")
+
+    def _vm_windows(
+        self, vm: Vm, horizon: float, rng: np.random.Generator
+    ) -> Iterator[MigrationWindow]:
+        t = float(rng.exponential(self.mean_interval))
+        while t < horizon:
+            downtime = float(rng.uniform(self.min_downtime, self.max_downtime))
+            yield MigrationWindow(vm_id=vm.id, start=t, downtime=downtime)
+            t += downtime + float(rng.exponential(self.mean_interval))
+
+    def windows(self, vms, horizon, rng):
+        check_positive("horizon", horizon)
+        out: List[MigrationWindow] = []
+        for vm in vms:
+            out.extend(self._vm_windows(vm, horizon, rng))
+        out.sort(key=lambda w: (w.start, w.vm_id))
+        return out

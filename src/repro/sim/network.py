@@ -1,0 +1,100 @@
+"""Data-transfer cost models.
+
+Cloud workflow engines stage files through shared storage (SciCumulus uses
+a shared bucket/volume): a producer uploads its outputs, consumers download
+any input not already present locally.  :class:`SharedStorageNetwork`
+implements that model contention-free — each transfer sees the VM's NIC
+bandwidth plus a fixed latency — which is the standard WorkflowSim
+assumption and sufficient for scheduling studies where compute dominates.
+:class:`ZeroCostNetwork` turns transfers off entirely (useful for isolating
+scheduling effects in tests).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Iterable
+
+from repro.dag.activation import Activation, File
+from repro.sim.vm import Vm
+from repro.util.validate import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["NetworkModel", "SharedStorageNetwork", "ZeroCostNetwork"]
+
+
+class NetworkModel(abc.ABC):
+    """Computes staging time for an activation's inputs on a given VM."""
+
+    @abc.abstractmethod
+    def stage_in_time(
+        self,
+        activation: Activation,
+        vm: Vm,
+        file_locations: Dict[str, int],
+    ) -> float:
+        """Seconds to make all inputs of ``activation`` available on ``vm``.
+
+        ``file_locations`` maps file name -> id of the VM that produced it
+        (absent for workflow-input files, which live on shared storage).
+        """
+
+    @abc.abstractmethod
+    def stage_out_time(self, activation: Activation, vm: Vm) -> float:
+        """Seconds to publish ``activation``'s outputs from ``vm``."""
+
+
+class ZeroCostNetwork(NetworkModel):
+    """All transfers are free (pure-compute model)."""
+
+    def stage_in_time(
+        self, activation: Activation, vm: Vm, file_locations: Dict[str, int]
+    ) -> float:
+        return 0.0
+
+    def stage_out_time(self, activation: Activation, vm: Vm) -> float:
+        return 0.0
+
+
+class SharedStorageNetwork(NetworkModel):
+    """Shared-storage staging with per-VM bandwidth and fixed latency.
+
+    Parameters
+    ----------
+    latency:
+        Per-file fixed overhead in seconds (request setup, metadata).
+    upload_outputs:
+        When True, publishing outputs costs bandwidth too (charged at the
+        end of the activation's execution).
+    """
+
+    def __init__(self, latency: float = 0.05, upload_outputs: bool = True) -> None:
+        self.latency = check_non_negative("latency", latency)
+        self.upload_outputs = bool(upload_outputs)
+
+    def _transfer_time(self, files: Iterable[File], vm: Vm) -> float:
+        total = 0.0
+        bw = vm.type.bandwidth_bytes_per_s
+        for f in files:
+            total += self.latency + f.size_bytes / bw
+        return total
+
+    def stage_in_time(
+        self, activation: Activation, vm: Vm, file_locations: Dict[str, int]
+    ) -> float:
+        # Files produced on this same VM are already local; everything else
+        # (other VMs' outputs and workflow inputs) is fetched from shared
+        # storage at the consumer's bandwidth.
+        remote = [
+            f
+            for f in activation.inputs
+            if file_locations.get(f.name) != vm.id
+        ]
+        return self._transfer_time(remote, vm)
+
+    def stage_out_time(self, activation: Activation, vm: Vm) -> float:
+        if not self.upload_outputs:
+            return 0.0
+        return self._transfer_time(activation.outputs, vm)

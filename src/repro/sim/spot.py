@@ -1,0 +1,104 @@
+"""Spot-instance revocation modelling.
+
+Spot/preemptible VMs are the extreme form of the cloud dynamics the
+paper's introduction motivates: the provider may reclaim a VM at any
+moment, killing whatever runs on it.  A :class:`RevocationModel` yields
+the times at which fleet VMs are permanently reclaimed; the simulator
+then re-queues the interrupted activations (they return to READY and are
+rescheduled on surviving VMs) and never dispatches to the dead VM again.
+
+This is an *extension* beyond the paper's evaluation (its fleets are
+on-demand), used by the robustness ablations: an adaptive scheduler
+should degrade more gracefully than a static plan when capacity
+disappears mid-run.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sim.vm import Vm
+from repro.util.validate import check_non_negative, check_probability
+
+__all__ = ["Revocation", "RevocationModel", "NoRevocations", "PoissonRevocations"]
+
+
+@dataclass(frozen=True)
+class Revocation:
+    """One spot reclamation: the VM dies at ``time`` and never returns."""
+
+    vm_id: int
+    time: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("time", self.time)
+
+
+class RevocationModel(abc.ABC):
+    """Produces the revocations hitting a fleet over a horizon."""
+
+    @abc.abstractmethod
+    def revocations(
+        self,
+        vms: Sequence[Vm],
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> List[Revocation]:
+        """All revocations within ``[0, horizon]`` (at most one per VM)."""
+
+
+class NoRevocations(RevocationModel):
+    """On-demand fleet: nothing is reclaimed."""
+
+    def revocations(self, vms, horizon, rng):
+        return []
+
+
+class PoissonRevocations(RevocationModel):
+    """Each VM is independently reclaimed with exponential lifetime.
+
+    Parameters
+    ----------
+    mean_lifetime:
+        Mean seconds until a spot VM is reclaimed.
+    spot_fraction:
+        Fraction of the fleet running as spot instances (chosen from the
+        high VM ids first — the expensive VMs are the ones worth bidding
+        on).  1.0 = the whole fleet is spot.
+    protect_last:
+        Never revoke every VM: at least this many VMs (lowest ids) are
+        kept on-demand so the workflow can always finish.
+    """
+
+    def __init__(
+        self,
+        mean_lifetime: float = 600.0,
+        spot_fraction: float = 0.5,
+        protect_last: int = 1,
+    ) -> None:
+        if mean_lifetime <= 0:
+            raise ValueError("mean_lifetime must be > 0")
+        self.mean_lifetime = float(mean_lifetime)
+        self.spot_fraction = check_probability("spot_fraction", spot_fraction)
+        if protect_last < 1:
+            raise ValueError("protect_last must be >= 1")
+        self.protect_last = int(protect_last)
+
+    def revocations(self, vms, horizon, rng):
+        vms = sorted(vms, key=lambda v: v.id)
+        n_spot = min(
+            int(round(len(vms) * self.spot_fraction)),
+            max(0, len(vms) - self.protect_last),
+        )
+        spot_vms = vms[len(vms) - n_spot:]
+        out: List[Revocation] = []
+        for vm in spot_vms:
+            lifetime = float(rng.exponential(self.mean_lifetime))
+            if lifetime < horizon:
+                out.append(Revocation(vm_id=vm.id, time=lifetime))
+        out.sort(key=lambda r: (r.time, r.vm_id))
+        return out

@@ -1,0 +1,121 @@
+"""Schedule validation — the simulator's invariants as a public API.
+
+Downstream users writing their own schedulers want a single call that
+certifies a simulation outcome: every activation executed exactly once,
+dependencies respected, VM capacities never exceeded, makespan
+consistent.  :func:`validate_result` performs those checks and raises
+:class:`~repro.util.validate.ValidationError` with a precise message on
+the first violation; the property-based test suite runs it over random
+DAGs × random fleets × hostile environments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.dag.graph import Workflow
+from repro.sim.metrics import SimulationResult
+from repro.sim.vm import Vm
+from repro.util.validate import ValidationError
+
+__all__ = ["validate_result"]
+
+_EPS = 1e-9
+
+
+def validate_result(
+    workflow: Workflow,
+    result: SimulationResult,
+    vms: Optional[Sequence[Vm]] = None,
+    require_success: bool = True,
+) -> None:
+    """Check a :class:`SimulationResult` against the workflow's invariants.
+
+    Parameters
+    ----------
+    workflow:
+        The DAG that was executed.
+    result:
+        The outcome to certify.
+    vms:
+        The fleet (defaults to ``result.vms``); needed for capacity
+        checks.
+    require_success:
+        When True (default), the run must have finished successfully and
+        cover every activation.  Set False to validate partial/failed
+        runs (coverage and success checks are skipped; ordering and
+        capacity still apply to what did execute).
+    """
+    fleet = list(vms) if vms is not None else list(result.vms)
+    if not fleet:
+        raise ValidationError("cannot validate without the fleet")
+    capacity = {vm.id: vm.capacity for vm in fleet}
+
+    # -- coverage -----------------------------------------------------------
+    seen: Dict[int, int] = {}
+    for record in result.records:
+        seen[record.activation_id] = seen.get(record.activation_id, 0) + 1
+    duplicated = sorted(k for k, n in seen.items() if n > 1)
+    if duplicated:
+        raise ValidationError(
+            f"activations recorded more than once: {duplicated[:5]}"
+        )
+    unknown = sorted(set(seen) - set(workflow.activation_ids))
+    if unknown:
+        raise ValidationError(f"records for unknown activations: {unknown[:5]}")
+    if require_success:
+        if not result.succeeded:
+            raise ValidationError(
+                f"run ended in state {result.final_state!r}"
+            )
+        missing = sorted(set(workflow.activation_ids) - set(seen))
+        if missing:
+            raise ValidationError(f"activations never executed: {missing[:5]}")
+
+    # -- per-record sanity ----------------------------------------------------
+    for record in result.records:
+        if record.vm_id not in capacity:
+            raise ValidationError(
+                f"activation {record.activation_id} ran on unknown VM "
+                f"{record.vm_id}"
+            )
+        if record.queue_time < -_EPS or record.execution_time <= 0:
+            raise ValidationError(
+                f"activation {record.activation_id} has inconsistent times"
+            )
+
+    # -- dependency ordering ----------------------------------------------------
+    finish = {r.activation_id: r.finish_time for r in result.records}
+    start = {r.activation_id: r.start_time for r in result.records}
+    for parent, child in workflow.edges:
+        if parent in finish and child in start:
+            if start[child] < finish[parent] - _EPS:
+                raise ValidationError(
+                    f"activation {child} started at {start[child]:.6f} before "
+                    f"its parent {parent} finished at {finish[parent]:.6f}"
+                )
+
+    # -- capacity -------------------------------------------------------------
+    events = []
+    for r in result.records:
+        events.append((r.start_time, 1, r.vm_id, r.activation_id))
+        events.append((r.finish_time, -1, r.vm_id, r.activation_id))
+    events.sort(key=lambda e: (e[0], e[1]))
+    load = {vm_id: 0 for vm_id in capacity}
+    for t, delta, vm_id, ac_id in events:
+        load[vm_id] += delta
+        if load[vm_id] > capacity[vm_id]:
+            raise ValidationError(
+                f"VM {vm_id} exceeded capacity {capacity[vm_id]} at "
+                f"t={t:.6f} (activation {ac_id})"
+            )
+        if load[vm_id] < 0:
+            raise ValidationError(f"negative load on VM {vm_id} (internal)")
+
+    # -- makespan --------------------------------------------------------------
+    if result.records:
+        max_finish = max(finish.values())
+        if abs(result.makespan - max_finish) > 1e-6:
+            raise ValidationError(
+                f"makespan {result.makespan:.6f} != max finish {max_finish:.6f}"
+            )

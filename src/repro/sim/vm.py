@@ -1,0 +1,191 @@
+"""Virtual machines and the Amazon EC2 t2 type catalog.
+
+A :class:`VmType` describes hardware: vCPU count, per-core relative speed,
+RAM, network bandwidth and hourly price.  A :class:`Vm` is one provisioned
+instance; it runs up to ``vcpus`` activations concurrently (SCCore places
+one MPI slave per vCPU, so vCPUs are the paper's unit of capacity — its
+fleets are quoted as 16/32/64 vCPUs).
+
+All t2 family members share the same physical core, so their *nominal*
+per-core speed is identical (1.0).  What differentiates them dynamically
+is the burst-credit budget: a t2.micro throttles hard under sustained
+load while a t2.2xlarge effectively never does at workflow scale (see
+:class:`~repro.sim.fluctuation.BurstThrottleFluctuation`).  That dynamic
+is invisible to cost-model schedulers like HEFT — which therefore spreads
+work uniformly over equal-speed cores, the paper's Table V observation —
+but is learnable from experience, which is why ReASSIgN concentrates hot
+activations on the 2xlarge VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.util.validate import ValidationError, check_non_negative, check_positive
+
+__all__ = ["VmType", "Vm", "VM_TYPES", "t2_fleet", "fleet_vcpus"]
+
+
+@dataclass(frozen=True)
+class VmType:
+    """Immutable description of an instance type."""
+
+    name: str
+    vcpus: int
+    speed: float  #: per-core speed relative to the reference core (1.0)
+    ram_gb: float
+    price_per_hour: float  #: USD, us-east-1 on-demand (paper's locality)
+    bandwidth_mbps: float = 800.0  #: network bandwidth in megabits/s
+    boot_time: float = 0.0  #: seconds from provisioning to usable
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("VM type name must be non-empty")
+        if self.vcpus < 1:
+            raise ValidationError(f"vcpus must be >= 1, got {self.vcpus}")
+        check_positive("speed", self.speed)
+        check_positive("ram_gb", self.ram_gb)
+        check_non_negative("price_per_hour", self.price_per_hour)
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+        check_non_negative("boot_time", self.boot_time)
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Bandwidth in bytes/second."""
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+
+#: EC2 t2 family (us-east-1 on-demand prices as of the paper's period).
+#: The paper's experiments use only t2.micro and t2.2xlarge.
+VM_TYPES: Dict[str, VmType] = {
+    "t2.micro": VmType("t2.micro", vcpus=1, speed=1.0, ram_gb=1.0,
+                       price_per_hour=0.0116, bandwidth_mbps=300.0),
+    "t2.small": VmType("t2.small", vcpus=1, speed=1.0, ram_gb=2.0,
+                       price_per_hour=0.023, bandwidth_mbps=400.0),
+    "t2.medium": VmType("t2.medium", vcpus=2, speed=1.0, ram_gb=4.0,
+                        price_per_hour=0.0464, bandwidth_mbps=500.0),
+    "t2.large": VmType("t2.large", vcpus=2, speed=1.0, ram_gb=8.0,
+                       price_per_hour=0.0928, bandwidth_mbps=600.0),
+    "t2.xlarge": VmType("t2.xlarge", vcpus=4, speed=1.0, ram_gb=16.0,
+                        price_per_hour=0.1856, bandwidth_mbps=750.0),
+    "t2.2xlarge": VmType("t2.2xlarge", vcpus=8, speed=1.0, ram_gb=32.0,
+                         price_per_hour=0.3712, bandwidth_mbps=1000.0),
+}
+
+
+class Vm:
+    """One provisioned VM with ``vcpus`` execution slots.
+
+    Mirrors the paper's VM state set ``{idle, busy}``: a VM is *idle* when
+    at least one slot is free (it can accept a schedule action) and *busy*
+    when all slots are occupied.
+    """
+
+    def __init__(self, vm_id: int, vm_type: VmType) -> None:
+        if vm_id < 0:
+            raise ValidationError(f"vm id must be >= 0, got {vm_id}")
+        self.id = vm_id
+        self.type = vm_type
+        self.running: set = set()  #: activation ids currently executing
+        self.available_at: float = 0.0  #: booted / post-migration time
+        self.migrating: bool = False
+
+    @property
+    def capacity(self) -> int:
+        """Concurrent activation slots."""
+        return self.type.vcpus
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.running)
+
+    def is_idle(self, now: float) -> bool:
+        """True when the VM can accept a new activation at ``now``."""
+        return (
+            not self.migrating
+            and now >= self.available_at
+            and self.free_slots > 0
+        )
+
+    @property
+    def state(self) -> str:
+        """The paper's 2-valued VM state (ignoring boot/migration windows)."""
+        return "busy" if self.free_slots == 0 else "idle"
+
+    def start(self, activation_id: int) -> None:
+        """Occupy a slot for the activation."""
+        if self.free_slots <= 0:
+            raise ValidationError(f"vm {self.id} has no free slot")
+        if activation_id in self.running:
+            raise ValidationError(
+                f"activation {activation_id} already running on vm {self.id}"
+            )
+        self.running.add(activation_id)
+
+    def finish(self, activation_id: int) -> None:
+        """Release the activation's slot."""
+        try:
+            self.running.remove(activation_id)
+        except KeyError:
+            raise ValidationError(
+                f"activation {activation_id} not running on vm {self.id}"
+            ) from None
+
+    def execution_time(self, reference_runtime: float) -> float:
+        """Nominal execution time of a reference runtime on this VM."""
+        return reference_runtime / self.type.speed
+
+    def reset(self) -> None:
+        """Clear runtime state (new episode)."""
+        self.running.clear()
+        self.available_at = 0.0
+        self.migrating = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vm(id={self.id}, type={self.type.name}, running={len(self.running)}/{self.capacity})"
+
+
+def t2_fleet(n_micro: int, n_2xlarge: int) -> List[Vm]:
+    """Build the paper's fleet shape: micros first, then 2xlarges.
+
+    Table I / Table V number VMs 0..8 with the 2xlarge instances at the
+    high ids (VM 8 is the single 2xlarge of the 16-vCPU fleet), so micros
+    get the low ids.
+    """
+    if n_micro < 0 or n_2xlarge < 0:
+        raise ValidationError("fleet sizes must be non-negative")
+    if n_micro + n_2xlarge == 0:
+        raise ValidationError("fleet must contain at least one VM")
+    vms = [Vm(i, VM_TYPES["t2.micro"]) for i in range(n_micro)]
+    vms += [Vm(n_micro + j, VM_TYPES["t2.2xlarge"]) for j in range(n_2xlarge)]
+    return vms
+
+
+def fleet_vcpus(vms: Sequence[Vm]) -> int:
+    """Total vCPUs across a fleet (the paper's fleet size metric)."""
+    return sum(vm.capacity for vm in vms)
+
+
+def as_single_slot(vms: Sequence[Vm]) -> List[Vm]:
+    """Single-slot (1 concurrent activation) views of a fleet, same ids.
+
+    WorkflowSim — and the paper's MDP, whose VM state is the *binary*
+    {idle, busy} — treats each VM as one processor regardless of vCPUs.
+    ReASSIgN therefore learns on this view; the full vCPU capacity is
+    exploited again at execution time (SCCore runs one slave per vCPU).
+    """
+    out = []
+    for vm in vms:
+        t = vm.type
+        single = VmType(
+            name=t.name,
+            vcpus=1,
+            speed=t.speed,
+            ram_gb=t.ram_gb,
+            price_per_hour=t.price_per_hour,
+            bandwidth_mbps=t.bandwidth_mbps,
+            boot_time=t.boot_time,
+        )
+        out.append(Vm(vm.id, single))
+    return out

@@ -1,0 +1,84 @@
+"""Dependency-free ASCII plotting (learning curves, sparklines).
+
+The examples and report render learning curves without matplotlib:
+:func:`ascii_plot` draws a series as a fixed-height character canvas,
+:func:`sparkline` compresses it to one line of block glyphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.util.validate import ValidationError
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-glyph rendering of a series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int((v - lo) / span * len(_BLOCKS)))]
+        for v in values
+    )
+
+
+def ascii_plot(
+    values: Sequence[float],
+    width: int = 70,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a series as an ASCII chart with a y-axis.
+
+    Long series are downsampled by bucket means to fit ``width``.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValidationError("nothing to plot")
+    if width < 10 or height < 3:
+        raise ValidationError("plot must be at least 10x3")
+
+    # downsample to width points (bucket means)
+    if len(values) > width:
+        bucketed: List[float] = []
+        per = len(values) / width
+        for i in range(width):
+            lo = int(i * per)
+            hi = max(lo + 1, int((i + 1) * per))
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+
+    lo, hi = min(values), max(values)
+    span = hi - lo if hi > lo else 1.0
+    rows = [[" "] * len(values) for _ in range(height)]
+    for x, v in enumerate(values):
+        y = int(round((v - lo) / span * (height - 1)))
+        rows[height - 1 - y][x] = "*"
+
+    label_width = max(len(f"{hi:.1f}"), len(f"{lo:.1f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        if i == 0:
+            label = f"{hi:.1f}"
+        elif i == height - 1:
+            label = f"{lo:.1f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * len(values)}")
+    if y_label:
+        lines.append(f"{'':>{label_width}}  {y_label}")
+    return "\n".join(lines)

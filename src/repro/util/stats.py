@@ -1,0 +1,116 @@
+"""Incremental statistics used by the reward function and metrics.
+
+The reward of ReASSIgN compares a VM's mean performance index against the
+global mean plus one standard deviation.  Those aggregates are updated on
+every scheduling decision, so recomputing them from scratch would make the
+learning loop quadratic in the number of activations.  :class:`RunningStats`
+implements Welford's online algorithm: O(1) update, numerically stable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["RunningStats", "welford_merge"]
+
+
+class RunningStats:
+    """Online mean/variance accumulator (Welford's algorithm)."""
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, x: float) -> None:
+        """Accumulate one observation."""
+        x = float(x)
+        if math.isnan(x):
+            raise ValueError("cannot accumulate NaN")
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Accumulate many observations."""
+        for x in xs:
+            self.push(x)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Mean of observations (0.0 when empty, matching an idle VM)."""
+        return self._mean if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 for fewer than two observations)."""
+        return self._m2 / self._n if self._n >= 2 else 0.0
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (0.0 for fewer than two observations)."""
+        return self._m2 / (self._n - 1) if self._n >= 2 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def copy(self) -> "RunningStats":
+        out = RunningStats()
+        out._n = self._n
+        out._mean = self._mean
+        out._m2 = self._m2
+        out._min = self._min
+        out._max = self._max
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunningStats(n={self._n}, mean={self.mean:.6g}, std={self.std:.6g})"
+
+
+def welford_merge(a: RunningStats, b: RunningStats) -> RunningStats:
+    """Merge two accumulators (Chan et al. parallel variant).
+
+    Used to aggregate per-VM statistics into fleet-wide statistics without
+    replaying individual observations.
+    """
+    if a.count == 0:
+        return b.copy()
+    if b.count == 0:
+        return a.copy()
+    out = RunningStats()
+    n = a.count + b.count
+    delta = b.mean - a.mean
+    out._n = n
+    out._mean = a.mean + delta * (b.count / n)
+    out._m2 = a._m2 + b._m2 + delta * delta * (a.count * b.count / n)
+    out._min = min(a._min, b._min)
+    out._max = max(a._max, b._max)
+    return out

@@ -1,0 +1,93 @@
+"""Plain-text table rendering and duration formatting.
+
+The benchmark harness regenerates the paper's tables as monospaced text so
+that the same rows/columns the paper reports can be diffed by eye.  The
+renderer is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_duration", "format_hms"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.5f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.
+    title:
+        Optional caption printed above the table.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        str_rows.append([_cell(v) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        inner = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return f"| {inner} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_duration(seconds: float) -> str:
+    """Human-friendly duration, e.g. ``93.0 s`` or ``2.5 min``."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    minutes = seconds / 60.0
+    if minutes < 120:
+        return f"{minutes:.1f} min"
+    return f"{minutes / 60.0:.2f} h"
+
+
+def format_hms(seconds: float) -> str:
+    """Format seconds as ``HH:MM:SS.mmm`` — the style of the paper's Table IV."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    whole = int(seconds)
+    millis = int(round((seconds - whole) * 1000))
+    if millis == 1000:  # rounding carried over
+        whole += 1
+        millis = 0
+    h, rem = divmod(whole, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h:02d}:{m:02d}:{s:02d}.{millis:03d}"

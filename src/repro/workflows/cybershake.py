@@ -1,0 +1,129 @@
+"""Synthetic CyberShake workflow (earthquake hazard characterization).
+
+Structure (Bharathi et al.)::
+
+    ExtractSGT (xE)
+        -> SeismogramSynthesis (xK, fan-out from each ExtractSGT)
+              -> ZipSeis (x1, gathers all seismograms)
+              -> PeakValCalcOkaya (xK, one per seismogram)
+                    -> ZipPSA (x1, gathers all peak values)
+
+so ``N = E + 2K + 2``.  SeismogramSynthesis dominates the runtime;
+ExtractSGT moves large SGT meshes (data-heavy), which is what makes
+CyberShake the I/O-bound member of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dag.activation import File
+from repro.dag.graph import Workflow
+from repro.util.validate import ValidationError
+from repro.workflows.generator import WorkflowRecipe, sample_positive
+
+__all__ = ["CyberShakeRecipe", "cybershake"]
+
+RUNTIME_MEANS = {
+    "ExtractSGT": 80.0,
+    "SeismogramSynthesis": 30.0,
+    "ZipSeis": 15.0,
+    "PeakValCalcOkaya": 2.0,
+    "ZipPSA": 10.0,
+}
+
+_MB = 1e6
+
+
+class CyberShakeRecipe(WorkflowRecipe):
+    """Generator for CyberShake DAGs of an exact requested size."""
+
+    name = "cybershake"
+
+    @classmethod
+    def min_activations(cls) -> int:
+        # E=1, K=1 -> 1 + 2 + 2
+        return 5
+
+    def _solve_shape(self) -> Tuple[int, int]:
+        """Find (E, K) with E + 2K + 2 == n, preferring ~5 synth per SGT."""
+        n = self.n_activations
+        best = None
+        for e in range(1, n):
+            rem = n - 2 - e
+            if rem < 2 or rem % 2:
+                continue
+            k = rem // 2
+            if k < e:
+                continue
+            score = abs(k / e - 5.0)
+            if best is None or score < best[0]:
+                best = (score, e, k)
+        if best is None:
+            raise ValidationError(
+                f"cannot construct a CyberShake DAG with exactly {n} activations"
+            )
+        return best[1], best[2]
+
+    def build(self, wf: Workflow, rng: np.random.Generator) -> None:
+        n_extract, n_synth = self._solve_shape()
+
+        sgt_files = []
+        for i in range(n_extract):
+            out = File(f"sgt_{i}.bin", sample_positive(rng, 40.0 * _MB))
+            sgt_files.append(out)
+            self.add_task(
+                wf,
+                "ExtractSGT",
+                sample_positive(rng, RUNTIME_MEANS["ExtractSGT"]),
+                inputs=[File(f"rupture_{i}.var", sample_positive(rng, 1.0 * _MB))],
+                outputs=[out],
+            )
+
+        seismograms = []
+        for j in range(n_synth):
+            src = sgt_files[j % n_extract]
+            out = File(f"seis_{j}.grm", sample_positive(rng, 0.2 * _MB))
+            seismograms.append(out)
+            self.add_task(
+                wf,
+                "SeismogramSynthesis",
+                sample_positive(rng, RUNTIME_MEANS["SeismogramSynthesis"]),
+                inputs=[src],
+                outputs=[out],
+            )
+
+        self.add_task(
+            wf,
+            "ZipSeis",
+            sample_positive(rng, RUNTIME_MEANS["ZipSeis"]),
+            inputs=list(seismograms),
+            outputs=[File("seismograms.zip", sample_positive(rng, 0.2 * _MB * n_synth))],
+        )
+
+        peaks = []
+        for j in range(n_synth):
+            out = File(f"peak_{j}.bsa", sample_positive(rng, 0.05 * _MB))
+            peaks.append(out)
+            self.add_task(
+                wf,
+                "PeakValCalcOkaya",
+                sample_positive(rng, RUNTIME_MEANS["PeakValCalcOkaya"]),
+                inputs=[seismograms[j]],
+                outputs=[out],
+            )
+
+        self.add_task(
+            wf,
+            "ZipPSA",
+            sample_positive(rng, RUNTIME_MEANS["ZipPSA"]),
+            inputs=list(peaks),
+            outputs=[File("peaks.zip", sample_positive(rng, 0.05 * _MB * n_synth))],
+        )
+
+
+def cybershake(n_activations: int = 30, seed: int = 0) -> Workflow:
+    """Generate a CyberShake workflow with exactly ``n_activations`` nodes."""
+    return CyberShakeRecipe(n_activations, seed).generate()

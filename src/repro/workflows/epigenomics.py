@@ -1,0 +1,152 @@
+"""Synthetic Epigenomics workflow (DNA methylation sequencing pipeline).
+
+Structure (Bharathi et al.)::
+
+    per lane L:
+      fastQSplit (x1)
+        -> F parallel chains of
+              filterContams -> sol2sanger -> fastq2bfq -> map
+        -> mapMerge (x1, per lane)
+    mapMerge outputs -> maqIndex (x1) -> pileup (x1)
+
+so ``N = L * (2 + 4F) + 2``.  The pipeline is chain-dominated and CPU
+bound (``map`` is the expensive stage), making it the least parallel
+workflow in the suite — a good stress test for schedulers that overfit
+to wide fan-outs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dag.activation import File
+from repro.dag.graph import Workflow
+from repro.util.validate import ValidationError
+from repro.workflows.generator import WorkflowRecipe, sample_positive
+
+__all__ = ["EpigenomicsRecipe", "epigenomics"]
+
+RUNTIME_MEANS = {
+    "fastQSplit": 25.0,
+    "filterContams": 5.0,
+    "sol2sanger": 2.0,
+    "fastq2bfq": 2.0,
+    "map": 90.0,
+    "mapMerge": 10.0,
+    "maqIndex": 20.0,
+    "pileup": 30.0,
+}
+
+_MB = 1e6
+
+
+class EpigenomicsRecipe(WorkflowRecipe):
+    """Generator for Epigenomics DAGs of an exact requested size."""
+
+    name = "epigenomics"
+
+    @classmethod
+    def min_activations(cls) -> int:
+        # L=1, F=1 -> 1*(2+4) + 2
+        return 8
+
+    def _solve_shape(self) -> Tuple[int, int]:
+        """Find (L, F) with L*(2+4F) + 2 == n, preferring few lanes."""
+        n = self.n_activations
+        for lanes in range(1, n):
+            rem = n - 2 - 2 * lanes
+            if rem <= 0:
+                break
+            if rem % (4 * lanes) == 0:
+                fanout = rem // (4 * lanes)
+                if fanout >= 1:
+                    return lanes, fanout
+        raise ValidationError(
+            f"cannot construct an Epigenomics DAG with exactly {n} activations"
+        )
+
+    def build(self, wf: Workflow, rng: np.random.Generator) -> None:
+        lanes, fanout = self._solve_shape()
+
+        merged_maps = []
+        for lane in range(lanes):
+            chunks = [
+                File(f"l{lane}_chunk_{c}.sfq", sample_positive(rng, 3.0 * _MB))
+                for c in range(fanout)
+            ]
+            self.add_task(
+                wf,
+                "fastQSplit",
+                sample_positive(rng, RUNTIME_MEANS["fastQSplit"]),
+                inputs=[File(f"lane_{lane}.sfq", sample_positive(rng, 3.0 * _MB * fanout))],
+                outputs=chunks,
+            )
+
+            lane_maps = []
+            for c in range(fanout):
+                filtered = File(f"l{lane}_filt_{c}.sfq", sample_positive(rng, 2.5 * _MB))
+                self.add_task(
+                    wf,
+                    "filterContams",
+                    sample_positive(rng, RUNTIME_MEANS["filterContams"]),
+                    inputs=[chunks[c]],
+                    outputs=[filtered],
+                )
+                fastq = File(f"l{lane}_fq_{c}.fq", sample_positive(rng, 2.5 * _MB))
+                self.add_task(
+                    wf,
+                    "sol2sanger",
+                    sample_positive(rng, RUNTIME_MEANS["sol2sanger"]),
+                    inputs=[filtered],
+                    outputs=[fastq],
+                )
+                bfq = File(f"l{lane}_bfq_{c}.bfq", sample_positive(rng, 1.5 * _MB))
+                self.add_task(
+                    wf,
+                    "fastq2bfq",
+                    sample_positive(rng, RUNTIME_MEANS["fastq2bfq"]),
+                    inputs=[fastq],
+                    outputs=[bfq],
+                )
+                mapped = File(f"l{lane}_map_{c}.map", sample_positive(rng, 2.0 * _MB))
+                lane_maps.append(mapped)
+                self.add_task(
+                    wf,
+                    "map",
+                    sample_positive(rng, RUNTIME_MEANS["map"]),
+                    inputs=[bfq],
+                    outputs=[mapped],
+                )
+
+            merged = File(f"l{lane}_merged.map", sample_positive(rng, 2.0 * _MB * fanout))
+            merged_maps.append(merged)
+            self.add_task(
+                wf,
+                "mapMerge",
+                sample_positive(rng, RUNTIME_MEANS["mapMerge"]),
+                inputs=lane_maps,
+                outputs=[merged],
+            )
+
+        index = File("reads.index", sample_positive(rng, 1.0 * _MB))
+        self.add_task(
+            wf,
+            "maqIndex",
+            sample_positive(rng, RUNTIME_MEANS["maqIndex"]),
+            inputs=list(merged_maps),
+            outputs=[index],
+        )
+        self.add_task(
+            wf,
+            "pileup",
+            sample_positive(rng, RUNTIME_MEANS["pileup"]),
+            inputs=[index],
+            outputs=[File("methylation.pileup", sample_positive(rng, 4.0 * _MB))],
+        )
+
+
+def epigenomics(n_activations: int = 24, seed: int = 0) -> Workflow:
+    """Generate an Epigenomics workflow with exactly ``n_activations`` nodes."""
+    return EpigenomicsRecipe(n_activations, seed).generate()

@@ -1,0 +1,144 @@
+"""Common machinery for synthetic workflow generation.
+
+A :class:`WorkflowRecipe` turns a requested size + seed into a concrete
+:class:`~repro.dag.graph.Workflow`.  All randomness flows through a
+dedicated RNG stream, so a recipe is a pure function of
+``(parameters, seed)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dag.activation import Activation, File
+from repro.dag.graph import Workflow
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError, check_positive
+
+__all__ = ["WorkflowRecipe", "sample_positive"]
+
+
+def sample_positive(
+    rng: np.random.Generator,
+    mean: float,
+    cv: float = 0.25,
+    minimum: float = 1e-3,
+) -> float:
+    """Draw a positive value ~ Normal(mean, cv*mean), truncated below.
+
+    Task-runtime distributions in the Bharathi characterization are roughly
+    unimodal with moderate dispersion; a truncated normal with a
+    coefficient of variation around 0.25 matches the published spreads
+    closely enough for scheduling studies.
+    """
+    check_positive("mean", mean)
+    value = rng.normal(mean, cv * mean)
+    return max(float(value), minimum, mean * 0.05)
+
+
+class WorkflowRecipe(abc.ABC):
+    """Base class for workflow generators.
+
+    Subclasses implement :meth:`build`, adding activations/edges to the
+    provided workflow using the recipe's RNG stream.  Activation ids are
+    handed out by :meth:`next_id` in creation order, which matches the
+    level-by-level numbering of the published DAX traces (entry tasks get
+    the lowest ids).
+    """
+
+    #: short registry name, e.g. ``"montage"``
+    name: str = "recipe"
+
+    def __init__(self, n_activations: int, seed: int = 0) -> None:
+        if n_activations < self.min_activations():
+            raise ValidationError(
+                f"{type(self).__name__} needs at least "
+                f"{self.min_activations()} activations, got {n_activations}"
+            )
+        self.n_activations = int(n_activations)
+        self.seed = int(seed)
+        self._next_id = 0
+
+    @classmethod
+    def min_activations(cls) -> int:
+        """Smallest DAG this recipe can produce."""
+        return 1
+
+    @classmethod
+    def is_constructible(cls, n_activations: int) -> bool:
+        """True if a DAG of exactly this size exists for this recipe.
+
+        Workflow structures impose arithmetic constraints (e.g. Inspiral
+        sizes are always even), so not every integer is reachable.
+        """
+        if n_activations < cls.min_activations():
+            return False
+        try:
+            cls(n_activations, seed=0).generate()
+            return True
+        except ValidationError:
+            return False
+
+    @classmethod
+    def nearest_constructible(cls, n_activations: int) -> int:
+        """The constructible size closest to ``n_activations`` (ties: below)."""
+        base = max(n_activations, cls.min_activations())
+        for offset in range(0, base + 64):
+            for candidate in (base - offset, base + offset):
+                if candidate >= cls.min_activations() and cls.is_constructible(
+                    candidate
+                ):
+                    return candidate
+        raise ValidationError(
+            f"{cls.__name__} has no constructible size near {n_activations}"
+        )
+
+    # -- helpers for subclasses ----------------------------------------
+
+    def next_id(self) -> int:
+        """Hand out sequential activation ids."""
+        out = self._next_id
+        self._next_id += 1
+        return out
+
+    def add_task(
+        self,
+        wf: Workflow,
+        activity: str,
+        runtime: float,
+        inputs: Optional[List[File]] = None,
+        outputs: Optional[List[File]] = None,
+    ) -> Activation:
+        """Create and register an activation with a fresh id."""
+        ac = Activation(
+            id=self.next_id(),
+            activity=activity,
+            runtime=runtime,
+            inputs=tuple(inputs or ()),
+            outputs=tuple(outputs or ()),
+        )
+        return wf.add_activation(ac)
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self) -> Workflow:
+        """Build, validate and return the workflow."""
+        self._next_id = 0
+        rng = RngService(self.seed).stream(f"workflow:{self.name}")
+        wf = Workflow(f"{self.name}-{self.n_activations}")
+        self.build(wf, rng)
+        if len(wf) != self.n_activations:
+            raise ValidationError(
+                f"{type(self).__name__} produced {len(wf)} activations, "
+                f"expected {self.n_activations}"
+            )
+        wf.infer_data_dependencies()
+        wf.validate()
+        return wf
+
+    @abc.abstractmethod
+    def build(self, wf: Workflow, rng: np.random.Generator) -> None:
+        """Populate ``wf`` with exactly ``self.n_activations`` activations."""

@@ -1,0 +1,148 @@
+"""Synthetic LIGO Inspiral workflow (gravitational-wave search).
+
+Structure (Bharathi et al.)::
+
+    TmpltBank (xM)  -> Inspiral (xM, one per bank)
+    Inspirals are partitioned into G groups; per group:
+        Thinca (x1)  -> TrigBank (x group size) -> Inspiral2 (x group size)
+            -> Thinca2 (x1)
+
+so ``N = 4M + 2G``.  ``Inspiral``/``Inspiral2`` (matched filtering) carry
+almost all the compute; the Thinca coincidence stages are cheap
+synchronization points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dag.activation import File
+from repro.dag.graph import Workflow
+from repro.util.validate import ValidationError
+from repro.workflows.generator import WorkflowRecipe, sample_positive
+
+__all__ = ["InspiralRecipe", "inspiral"]
+
+RUNTIME_MEANS = {
+    "TmpltBank": 20.0,
+    "Inspiral": 80.0,
+    "Thinca": 5.0,
+    "TrigBank": 5.0,
+    "Inspiral2": 60.0,
+    "Thinca2": 5.0,
+}
+
+_MB = 1e6
+
+
+def _partition(n_items: int, n_groups: int) -> List[List[int]]:
+    """Split 0..n_items-1 into n_groups contiguous, near-equal groups."""
+    base, extra = divmod(n_items, n_groups)
+    groups: List[List[int]] = []
+    start = 0
+    for g in range(n_groups):
+        size = base + (1 if g < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+class InspiralRecipe(WorkflowRecipe):
+    """Generator for LIGO Inspiral DAGs of an exact requested size."""
+
+    name = "inspiral"
+
+    @classmethod
+    def min_activations(cls) -> int:
+        # M=1, G=1 -> 4 + 2
+        return 6
+
+    def _solve_shape(self) -> Tuple[int, int]:
+        """Find (M, G) with 4M + 2G == n, preferring groups of ~5."""
+        n = self.n_activations
+        best = None
+        for groups in range(1, n // 2 + 1):
+            rem = n - 2 * groups
+            if rem < 4 or rem % 4:
+                continue
+            m = rem // 4
+            if m < groups:
+                continue
+            score = abs(m / groups - 5.0)
+            if best is None or score < best[0]:
+                best = (score, m, groups)
+        if best is None:
+            raise ValidationError(
+                f"cannot construct an Inspiral DAG with exactly {n} activations"
+            )
+        return best[1], best[2]
+
+    def build(self, wf: Workflow, rng: np.random.Generator) -> None:
+        n_banks, n_groups = self._solve_shape()
+
+        banks = []
+        for i in range(n_banks):
+            out = File(f"bank_{i}.xml", sample_positive(rng, 1.5 * _MB))
+            banks.append(out)
+            self.add_task(
+                wf,
+                "TmpltBank",
+                sample_positive(rng, RUNTIME_MEANS["TmpltBank"]),
+                inputs=[File(f"frame_{i}.gwf", sample_positive(rng, 8.0 * _MB))],
+                outputs=[out],
+            )
+
+        triggers = []
+        for i in range(n_banks):
+            out = File(f"trig_{i}.xml", sample_positive(rng, 0.8 * _MB))
+            triggers.append(out)
+            self.add_task(
+                wf,
+                "Inspiral",
+                sample_positive(rng, RUNTIME_MEANS["Inspiral"]),
+                inputs=[banks[i]],
+                outputs=[out],
+            )
+
+        for g, members in enumerate(_partition(n_banks, n_groups)):
+            coinc = File(f"coinc_{g}.xml", sample_positive(rng, 0.5 * _MB))
+            self.add_task(
+                wf,
+                "Thinca",
+                sample_positive(rng, RUNTIME_MEANS["Thinca"]),
+                inputs=[triggers[i] for i in members],
+                outputs=[coinc],
+            )
+            second_triggers = []
+            for i in members:
+                tb = File(f"trigbank_{i}.xml", sample_positive(rng, 0.8 * _MB))
+                self.add_task(
+                    wf,
+                    "TrigBank",
+                    sample_positive(rng, RUNTIME_MEANS["TrigBank"]),
+                    inputs=[coinc],
+                    outputs=[tb],
+                )
+                t2 = File(f"trig2_{i}.xml", sample_positive(rng, 0.8 * _MB))
+                second_triggers.append(t2)
+                self.add_task(
+                    wf,
+                    "Inspiral2",
+                    sample_positive(rng, RUNTIME_MEANS["Inspiral2"]),
+                    inputs=[tb],
+                    outputs=[t2],
+                )
+            self.add_task(
+                wf,
+                "Thinca2",
+                sample_positive(rng, RUNTIME_MEANS["Thinca2"]),
+                inputs=second_triggers,
+                outputs=[File(f"coinc2_{g}.xml", sample_positive(rng, 0.5 * _MB))],
+            )
+
+
+def inspiral(n_activations: int = 30, seed: int = 0) -> Workflow:
+    """Generate a LIGO Inspiral workflow with exactly ``n_activations`` nodes."""
+    return InspiralRecipe(n_activations, seed).generate()

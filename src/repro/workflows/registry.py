@@ -1,0 +1,85 @@
+"""Registry mapping workflow names to generator callables.
+
+Used by the benchmark harness and examples so workloads can be selected by
+string name (``make_workflow("montage", 50, seed=1)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.dag.graph import Workflow
+from repro.util.validate import ValidationError
+from repro.workflows.cybershake import CyberShakeRecipe, cybershake
+from repro.workflows.epigenomics import EpigenomicsRecipe, epigenomics
+from repro.workflows.inspiral import InspiralRecipe, inspiral
+from repro.workflows.montage import MontageRecipe, montage
+from repro.workflows.sipht import SiphtRecipe, sipht
+
+__all__ = ["available_workflows", "make_workflow", "recipe_class", "RECIPES"]
+
+_REGISTRY: Dict[str, Callable[[int, int], Workflow]] = {
+    "montage": montage,
+    "cybershake": cybershake,
+    "epigenomics": epigenomics,
+    "inspiral": inspiral,
+    "sipht": sipht,
+}
+
+#: recipe classes by name (size constructibility queries, introspection)
+RECIPES: Dict[str, type] = {
+    "montage": MontageRecipe,
+    "cybershake": CyberShakeRecipe,
+    "epigenomics": EpigenomicsRecipe,
+    "inspiral": InspiralRecipe,
+    "sipht": SiphtRecipe,
+}
+
+
+def recipe_class(name: str) -> type:
+    """The :class:`WorkflowRecipe` subclass registered under ``name``."""
+    try:
+        return RECIPES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown workflow {name!r}; available: {available_workflows()}"
+        ) from None
+
+#: sensible default sizes per workflow (the montage default is the paper's)
+DEFAULT_SIZES: Dict[str, int] = {
+    "montage": 50,
+    "cybershake": 30,
+    "epigenomics": 24,
+    "inspiral": 30,
+    "sipht": 30,
+}
+
+
+def available_workflows() -> List[str]:
+    """Names accepted by :func:`make_workflow`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_workflow(
+    name: str, n_activations: Optional[int] = None, seed: int = 0
+) -> Workflow:
+    """Generate the named workflow.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_workflows`.
+    n_activations:
+        Exact DAG size; defaults to the workflow's standard benchmark size.
+    seed:
+        Seed for runtimes / file sizes.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown workflow {name!r}; available: {available_workflows()}"
+        ) from None
+    if n_activations is None:
+        n_activations = DEFAULT_SIZES[name]
+    return factory(n_activations, seed)

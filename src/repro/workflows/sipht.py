@@ -1,0 +1,129 @@
+"""Synthetic SIPHT workflow (sRNA gene prediction, Harvard).
+
+Structure (Bharathi et al.)::
+
+    Patser (xP)                       -> Patser_concate (x1) ---------+
+    {Transterm, Findterm, RNAMotif, Blast}  -> SRNA (x1)              |
+    SRNA -> {FFN_parse, Blast_synteny, Blast_candidate,               v
+             Blast_QRNA, Blast_paralogues}     -> SRNA_annotate (x1)
+
+so ``N = P + 12``.  SIPHT's distinguishing trait is a large pool of tiny
+independent ``Patser`` jobs next to a handful of heavy BLAST stages —
+high variance in task granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.activation import File
+from repro.dag.graph import Workflow
+from repro.workflows.generator import WorkflowRecipe, sample_positive
+
+__all__ = ["SiphtRecipe", "sipht"]
+
+RUNTIME_MEANS = {
+    "Patser": 1.5,
+    "Patser_concate": 2.0,
+    "Transterm": 30.0,
+    "Findterm": 60.0,
+    "RNAMotif": 10.0,
+    "Blast": 100.0,
+    "SRNA": 15.0,
+    "FFN_parse": 5.0,
+    "Blast_synteny": 30.0,
+    "Blast_candidate": 25.0,
+    "Blast_QRNA": 40.0,
+    "Blast_paralogues": 30.0,
+    "SRNA_annotate": 5.0,
+}
+
+_MB = 1e6
+
+
+class SiphtRecipe(WorkflowRecipe):
+    """Generator for SIPHT DAGs of an exact requested size."""
+
+    name = "sipht"
+
+    @classmethod
+    def min_activations(cls) -> int:
+        # P=1 plus the 12 fixed-stage jobs
+        return 13
+
+    def build(self, wf: Workflow, rng: np.random.Generator) -> None:
+        n_patser = self.n_activations - 12
+
+        patser_outs = []
+        for i in range(n_patser):
+            out = File(f"patser_{i}.out", sample_positive(rng, 0.05 * _MB))
+            patser_outs.append(out)
+            self.add_task(
+                wf,
+                "Patser",
+                sample_positive(rng, RUNTIME_MEANS["Patser"]),
+                inputs=[File(f"tfbs_{i}.matrix", sample_positive(rng, 0.02 * _MB))],
+                outputs=[out],
+            )
+
+        patser_concat = File("patser_all.out", sample_positive(rng, 0.05 * _MB * n_patser))
+        self.add_task(
+            wf,
+            "Patser_concate",
+            sample_positive(rng, RUNTIME_MEANS["Patser_concate"]),
+            inputs=list(patser_outs),
+            outputs=[patser_concat],
+        )
+
+        genome = File("genome.ffn", sample_positive(rng, 5.0 * _MB))
+        stage_outputs = []
+        for activity in ("Transterm", "Findterm", "RNAMotif", "Blast"):
+            out = File(f"{activity.lower()}.out", sample_positive(rng, 0.5 * _MB))
+            stage_outputs.append(out)
+            self.add_task(
+                wf,
+                activity,
+                sample_positive(rng, RUNTIME_MEANS[activity]),
+                inputs=[genome],
+                outputs=[out],
+            )
+
+        srna_out = File("srna.candidates", sample_positive(rng, 0.5 * _MB))
+        self.add_task(
+            wf,
+            "SRNA",
+            sample_positive(rng, RUNTIME_MEANS["SRNA"]),
+            inputs=list(stage_outputs),
+            outputs=[srna_out],
+        )
+
+        downstream_outs = []
+        for activity in (
+            "FFN_parse",
+            "Blast_synteny",
+            "Blast_candidate",
+            "Blast_QRNA",
+            "Blast_paralogues",
+        ):
+            out = File(f"{activity.lower()}.out", sample_positive(rng, 0.3 * _MB))
+            downstream_outs.append(out)
+            self.add_task(
+                wf,
+                activity,
+                sample_positive(rng, RUNTIME_MEANS[activity]),
+                inputs=[srna_out],
+                outputs=[out],
+            )
+
+        self.add_task(
+            wf,
+            "SRNA_annotate",
+            sample_positive(rng, RUNTIME_MEANS["SRNA_annotate"]),
+            inputs=downstream_outs + [patser_concat],
+            outputs=[File("annotations.gff", sample_positive(rng, 0.2 * _MB))],
+        )
+
+
+def sipht(n_activations: int = 30, seed: int = 0) -> Workflow:
+    """Generate a SIPHT workflow with exactly ``n_activations`` nodes."""
+    return SiphtRecipe(n_activations, seed).generate()

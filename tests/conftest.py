@@ -1,0 +1,94 @@
+"""Shared fixtures: small canonical DAGs and fleets."""
+
+import pytest
+
+from repro.dag import Activation, File, Workflow
+from repro.sim import t2_fleet
+from repro.workflows import montage
+
+
+def make_activation(ac_id, activity="prog", runtime=10.0, inputs=(), outputs=()):
+    """Convenience activation builder used across the test suite."""
+    return Activation(
+        id=ac_id,
+        activity=activity,
+        runtime=runtime,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+    )
+
+
+@pytest.fixture
+def diamond():
+    """A 4-node diamond: 0 -> {1, 2} -> 3."""
+    wf = Workflow("diamond")
+    for i, rt in enumerate([10.0, 20.0, 5.0, 8.0]):
+        wf.add_activation(make_activation(i, runtime=rt))
+    wf.add_dependency(0, 1)
+    wf.add_dependency(0, 2)
+    wf.add_dependency(1, 3)
+    wf.add_dependency(2, 3)
+    return wf
+
+
+@pytest.fixture
+def chain():
+    """A 5-node chain 0 -> 1 -> 2 -> 3 -> 4."""
+    wf = Workflow("chain")
+    for i in range(5):
+        wf.add_activation(make_activation(i, runtime=float(i + 1)))
+    for i in range(4):
+        wf.add_dependency(i, i + 1)
+    return wf
+
+
+@pytest.fixture
+def fork_join():
+    """1 entry, 6 parallel middles, 1 exit."""
+    wf = Workflow("fork-join")
+    wf.add_activation(make_activation(0, runtime=3.0))
+    for i in range(1, 7):
+        wf.add_activation(make_activation(i, runtime=10.0))
+        wf.add_dependency(0, i)
+    wf.add_activation(make_activation(7, runtime=3.0))
+    for i in range(1, 7):
+        wf.add_dependency(i, 7)
+    return wf
+
+
+@pytest.fixture
+def data_diamond():
+    """Diamond whose edges are implied by files (for data-dep inference)."""
+    wf = Workflow("data-diamond")
+    a = File("a.dat", 1e6)
+    b = File("b.dat", 2e6)
+    c = File("c.dat", 3e6)
+    wf.add_activation(make_activation(0, outputs=[a]))
+    wf.add_activation(make_activation(1, inputs=[a], outputs=[b]))
+    wf.add_activation(make_activation(2, inputs=[a], outputs=[c]))
+    wf.add_activation(make_activation(3, inputs=[b, c]))
+    return wf
+
+
+@pytest.fixture
+def montage25():
+    """A small Montage for faster end-to-end tests."""
+    return montage(25, seed=3)
+
+
+@pytest.fixture
+def montage50():
+    """The paper's workload."""
+    return montage(50, seed=1)
+
+
+@pytest.fixture
+def fleet16():
+    """Table I's smallest fleet: 8 micro + 1 2xlarge = 16 vCPUs."""
+    return t2_fleet(8, 1)
+
+
+@pytest.fixture
+def fleet_small():
+    """A tiny heterogeneous fleet for unit tests: 2 micro + 1 2xlarge."""
+    return t2_fleet(2, 1)

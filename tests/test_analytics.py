@@ -1,0 +1,97 @@
+"""Tests for repro.scicumulus.analytics — provenance analytics."""
+
+import pytest
+
+from repro.core import ReassignParams
+from repro.schedulers import HeftScheduler
+from repro.scicumulus import ProvenanceStore, SciCumulusRL
+from repro.scicumulus.analytics import (
+    activity_statistics,
+    makespan_trend,
+    render_vm_report,
+    scheduler_comparison,
+    vm_performance_report,
+)
+from repro.util.validate import ValidationError
+from repro.workflows import montage
+
+
+@pytest.fixture(scope="module")
+def populated_store():
+    """A provenance store with HEFT + two ReASSIgN runs recorded."""
+    wf = montage(25, seed=3)
+    store = ProvenanceStore()
+    swfms = SciCumulusRL(provenance=store, seed=1)
+    spec = {"t2.micro": 2, "t2.2xlarge": 1}
+    swfms.run_workflow(wf, spec, HeftScheduler())
+    params = ReassignParams(episodes=3)
+    swfms.run_workflow(wf, spec, "reassign", params)
+    swfms.run_workflow(wf, spec, "reassign", params)
+    return store, wf.name
+
+
+class TestVmReport:
+    def test_covers_used_vms(self, populated_store):
+        store, name = populated_store
+        reports = vm_performance_report(store, name)
+        assert reports
+        assert all(r.n_activations > 0 for r in reports)
+        assert sum(r.n_activations for r in reports) == 3 * 25
+
+    def test_index_formula(self, populated_store):
+        store, name = populated_store
+        for r in vm_performance_report(store, name, mu=0.5):
+            assert r.performance_index == pytest.approx(
+                0.5 * r.mean_execution + 0.5 * r.mean_queue
+            )
+
+    def test_mu_one_is_pure_execution(self, populated_store):
+        store, name = populated_store
+        for r in vm_performance_report(store, name, mu=1.0):
+            assert r.performance_index == pytest.approx(r.mean_execution)
+
+    def test_mu_validated(self, populated_store):
+        store, name = populated_store
+        with pytest.raises(ValidationError):
+            vm_performance_report(store, name, mu=1.5)
+
+    def test_render(self, populated_store):
+        store, name = populated_store
+        text = render_vm_report(vm_performance_report(store, name))
+        assert "per-VM performance history" in text
+
+    def test_empty_store(self):
+        assert vm_performance_report(ProvenanceStore()) == []
+
+
+class TestActivityStats:
+    def test_montage_activities_present(self, populated_store):
+        store, name = populated_store
+        stats = activity_statistics(store, name)
+        assert "mProjectPP" in stats and "mAdd" in stats
+        count, mean, std = stats["mAdd"]
+        assert count == 3  # one mAdd per execution
+        assert mean > 0 and std >= 0
+
+
+class TestSchedulerComparison:
+    def test_groups_by_scheduler(self, populated_store):
+        store, name = populated_store
+        comparison = scheduler_comparison(store, name)
+        assert "HEFT" in comparison
+        rl_keys = [k for k in comparison if k.startswith("ReASSIgN")]
+        assert rl_keys
+        runs, mean_mk, mean_cost = comparison["HEFT"]
+        assert runs == 1 and mean_mk > 0 and mean_cost > 0
+
+
+class TestTrend:
+    def test_reassign_trend_length(self, populated_store):
+        store, name = populated_store
+        trend = makespan_trend(store, name)
+        assert len(trend) == 2  # two ReASSIgN executions recorded
+        assert all(m > 0 for m in trend)
+
+    def test_unknown_workflow_empty(self, populated_store):
+        store, _ = populated_store
+        assert makespan_trend(store, "nope") == []

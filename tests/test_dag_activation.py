@@ -1,0 +1,137 @@
+"""Tests for repro.dag.activation — the activation state machine and files."""
+
+import pytest
+
+from repro.dag import Activation, ActivationState, File
+from repro.util.validate import ValidationError
+
+from tests.conftest import make_activation
+
+
+class TestFile:
+    def test_basic(self):
+        f = File("a.fits", 4.2e6)
+        assert f.size_mb == pytest.approx(4.2)
+
+    def test_zero_size_ok(self):
+        assert File("empty", 0).size_bytes == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            File("bad", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            File("", 1)
+
+    def test_frozen(self):
+        f = File("a", 1)
+        with pytest.raises(AttributeError):
+            f.size_bytes = 2  # type: ignore[misc]
+
+    def test_hashable_and_equal(self):
+        assert File("a", 1) == File("a", 1)
+        assert len({File("a", 1), File("a", 1)}) == 1
+
+
+class TestActivationConstruction:
+    def test_starts_locked(self):
+        assert make_activation(0).state is ActivationState.LOCKED
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValidationError):
+            make_activation(-1)
+
+    def test_rejects_empty_activity(self):
+        with pytest.raises(ValidationError):
+            Activation(id=0, activity="", runtime=1.0)
+
+    def test_rejects_nonpositive_runtime(self):
+        with pytest.raises(ValidationError):
+            make_activation(0, runtime=0.0)
+        with pytest.raises(ValidationError):
+            make_activation(0, runtime=-2.0)
+
+    def test_rejects_duplicate_outputs(self):
+        f = File("x", 1)
+        with pytest.raises(ValidationError):
+            make_activation(0, outputs=[f, File("x", 2)])
+
+    def test_io_byte_totals(self):
+        ac = make_activation(
+            0, inputs=[File("a", 10), File("b", 20)], outputs=[File("c", 5)]
+        )
+        assert ac.input_bytes == 30
+        assert ac.output_bytes == 5
+
+    def test_produces_consumes(self):
+        ac = make_activation(0, inputs=[File("in", 1)], outputs=[File("out", 1)])
+        assert ac.consumes("in") and not ac.consumes("out")
+        assert ac.produces("out") and not ac.produces("in")
+        assert ac.output_file("out").name == "out"
+        assert ac.output_file("nope") is None
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        ac = make_activation(0)
+        ac.transition(ActivationState.READY)
+        ac.transition(ActivationState.RUNNING)
+        ac.transition(ActivationState.FINISHED)
+        assert ac.state.terminal
+
+    def test_failure_from_running(self):
+        ac = make_activation(0)
+        ac.transition(ActivationState.READY)
+        ac.transition(ActivationState.RUNNING)
+        ac.transition(ActivationState.FAILED)
+        assert ac.state is ActivationState.FAILED
+
+    def test_failure_from_locked(self):
+        # cascaded failure of a never-runnable descendant
+        ac = make_activation(0)
+        ac.transition(ActivationState.FAILED)
+        assert ac.state.terminal
+
+    def test_retry_running_to_ready(self):
+        ac = make_activation(0)
+        ac.transition(ActivationState.READY)
+        ac.transition(ActivationState.RUNNING)
+        ac.transition(ActivationState.READY)  # re-queued after VM failure
+        assert ac.state is ActivationState.READY
+
+    def test_locked_cannot_run_directly(self):
+        ac = make_activation(0)
+        with pytest.raises(ValidationError):
+            ac.transition(ActivationState.RUNNING)
+
+    def test_terminal_states_are_final(self):
+        ac = make_activation(0)
+        ac.transition(ActivationState.READY)
+        ac.transition(ActivationState.RUNNING)
+        ac.transition(ActivationState.FINISHED)
+        for target in ActivationState:
+            with pytest.raises(ValidationError):
+                ac.transition(target)
+
+    def test_reset_returns_to_locked(self):
+        ac = make_activation(0)
+        ac.transition(ActivationState.READY)
+        ac.reset()
+        assert ac.state is ActivationState.LOCKED
+
+    def test_terminal_property(self):
+        assert ActivationState.FINISHED.terminal
+        assert ActivationState.FAILED.terminal
+        assert not ActivationState.READY.terminal
+        assert not ActivationState.LOCKED.terminal
+        assert not ActivationState.RUNNING.terminal
+
+    def test_paper_state_values(self):
+        # the five states of §III-A, with the paper's wording
+        assert ActivationState.FINISHED.value == "successfully finished"
+        assert ActivationState.FAILED.value == "finished with a failure"
+        assert {s.value for s in ActivationState} == {
+            "ready", "locked", "running",
+            "successfully finished", "finished with a failure",
+        }

@@ -1,0 +1,233 @@
+"""Tests for repro.dag.graph — the workflow DAG."""
+
+import networkx as nx
+import pytest
+
+from repro.dag import ActivationState, CycleError, Workflow
+from repro.util.validate import ValidationError
+
+from tests.conftest import make_activation
+
+
+class TestConstruction:
+    def test_empty(self):
+        wf = Workflow("w")
+        assert len(wf) == 0
+        assert wf.entries() == [] and wf.exits() == []
+
+    def test_duplicate_id_rejected(self):
+        wf = Workflow("w")
+        wf.add_activation(make_activation(0))
+        with pytest.raises(ValidationError):
+            wf.add_activation(make_activation(0))
+
+    def test_unknown_endpoint_rejected(self):
+        wf = Workflow("w")
+        wf.add_activation(make_activation(0))
+        with pytest.raises(ValidationError):
+            wf.add_dependency(0, 99)
+        with pytest.raises(ValidationError):
+            wf.add_dependency(99, 0)
+
+    def test_self_edge_rejected(self):
+        wf = Workflow("w")
+        wf.add_activation(make_activation(0))
+        with pytest.raises(CycleError):
+            wf.add_dependency(0, 0)
+
+    def test_cycle_rejected_eagerly(self, chain):
+        with pytest.raises(CycleError):
+            chain.add_dependency(4, 0)
+
+    def test_duplicate_edge_idempotent(self, diamond):
+        before = diamond.edge_count
+        diamond.add_dependency(0, 1)
+        assert diamond.edge_count == before
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Workflow("")
+
+
+class TestQueries:
+    def test_parents_children(self, diamond):
+        assert diamond.parents(3) == [1, 2]
+        assert diamond.children(0) == [1, 2]
+        assert diamond.parents(0) == []
+        assert diamond.children(3) == []
+
+    def test_entries_exits(self, diamond):
+        assert diamond.entries() == [0]
+        assert diamond.exits() == [3]
+
+    def test_edges_sorted(self, diamond):
+        assert diamond.edges == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_contains_iter(self, diamond):
+        assert 2 in diamond and 9 not in diamond
+        assert sorted(ac.id for ac in diamond) == [0, 1, 2, 3]
+
+    def test_unknown_activation_raises(self, diamond):
+        with pytest.raises(ValidationError):
+            diamond.activation(42)
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self, diamond):
+        order = diamond.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for p, c in diamond.edges:
+            assert pos[p] < pos[c]
+
+    def test_deterministic_ties_by_id(self, fork_join):
+        assert fork_join.topological_order() == list(range(8))
+
+    def test_cache_invalidated_on_mutation(self, chain):
+        chain.topological_order()
+        chain.add_activation(make_activation(99))
+        assert 99 in chain.topological_order()
+
+    def test_matches_networkx(self, montage25):
+        g = nx.DiGraph(montage25.edges)
+        g.add_nodes_from(montage25.activation_ids)
+        assert nx.is_directed_acyclic_graph(g)
+        order = montage25.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for p, c in g.edges:
+            assert pos[p] < pos[c]
+
+
+class TestLevels:
+    def test_diamond(self, diamond):
+        assert diamond.levels() == [[0], [1, 2], [3]]
+
+    def test_chain(self, chain):
+        assert chain.levels() == [[0], [1], [2], [3], [4]]
+
+    def test_levels_cover_all_nodes(self, montage25):
+        flat = [n for lvl in montage25.levels() for n in lvl]
+        assert sorted(flat) == montage25.activation_ids
+
+
+class TestDataDependencies:
+    def test_infer(self, data_diamond):
+        added = data_diamond.infer_data_dependencies()
+        assert added == 4
+        assert data_diamond.edges == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_infer_idempotent(self, data_diamond):
+        data_diamond.infer_data_dependencies()
+        assert data_diamond.infer_data_dependencies() == 0
+
+    def test_two_producers_rejected(self):
+        from repro.dag import File
+
+        wf = Workflow("w")
+        wf.add_activation(make_activation(0, outputs=[File("x", 1)]))
+        wf.add_activation(make_activation(1, outputs=[File("x", 1)]))
+        with pytest.raises(ValidationError):
+            wf.infer_data_dependencies()
+
+
+class TestExecutionState:
+    def test_reset_states(self, diamond):
+        diamond.reset_states()
+        assert diamond.activation(0).state is ActivationState.READY
+        for i in (1, 2, 3):
+            assert diamond.activation(i).state is ActivationState.LOCKED
+        assert diamond.ready_ids() == [0]
+
+    def test_release_children(self, diamond):
+        diamond.reset_states()
+        a0 = diamond.activation(0)
+        a0.transition(ActivationState.RUNNING)
+        a0.transition(ActivationState.FINISHED)
+        released = diamond.release_children(0)
+        assert released == [1, 2]
+        assert diamond.ready_ids() == [1, 2]
+
+    def test_release_waits_for_all_parents(self, diamond):
+        diamond.reset_states()
+        for i in (0, 1):
+            ac = diamond.activation(i)
+            if ac.state is ActivationState.LOCKED:
+                ac.transition(ActivationState.READY)
+            ac.transition(ActivationState.RUNNING)
+            ac.transition(ActivationState.FINISHED)
+            diamond.release_children(i)
+        # node 3 still locked: parent 2 unfinished
+        assert diamond.activation(3).state is ActivationState.LOCKED
+
+    def test_workflow_state_transitions(self, diamond):
+        diamond.reset_states()
+        assert diamond.workflow_state() == "available"
+        a0 = diamond.activation(0)
+        a0.transition(ActivationState.RUNNING)
+        assert diamond.workflow_state() == "unavailable"
+        a0.transition(ActivationState.FINISHED)
+        diamond.release_children(0)
+        assert diamond.workflow_state() == "available"
+
+    def test_workflow_state_success(self, chain):
+        chain.reset_states()
+        for i in range(5):
+            ac = chain.activation(i)
+            if ac.state is ActivationState.LOCKED:
+                ac.transition(ActivationState.READY)
+            ac.transition(ActivationState.RUNNING)
+            ac.transition(ActivationState.FINISHED)
+            chain.release_children(i)
+        assert chain.workflow_state() == "successfully finished"
+
+    def test_workflow_state_failure(self, chain):
+        chain.reset_states()
+        a0 = chain.activation(0)
+        a0.transition(ActivationState.RUNNING)
+        a0.transition(ActivationState.FAILED)
+        # cascade as the simulator would
+        for i in range(1, 5):
+            chain.activation(i).transition(ActivationState.FAILED)
+        assert chain.workflow_state() == "finished with failure"
+
+
+class TestTransforms:
+    def test_copy_independent(self, diamond):
+        cp = diamond.copy()
+        cp.reset_states()
+        assert diamond.activation(0).state is ActivationState.LOCKED
+        assert len(cp) == len(diamond)
+        assert cp.edges == diamond.edges
+
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph([0, 1, 3])
+        assert sorted(sub.activation_ids) == [0, 1, 3]
+        assert sub.edges == [(0, 1), (1, 3)]
+
+    def test_subgraph_unknown_id(self, diamond):
+        with pytest.raises(ValidationError):
+            diamond.subgraph([0, 42])
+
+    def test_relabel_sequential(self):
+        wf = Workflow("gaps")
+        wf.add_activation(make_activation(10))
+        wf.add_activation(make_activation(20))
+        wf.add_dependency(10, 20)
+        rel = wf.relabel_sequential()
+        assert rel.activation_ids == [0, 1]
+        assert rel.edges == [(0, 1)]
+
+    def test_files_conflicting_sizes_rejected(self):
+        from repro.dag import File
+
+        wf = Workflow("w")
+        wf.add_activation(make_activation(0, outputs=[File("x", 1)]))
+        wf.add_activation(make_activation(1, inputs=[File("x", 2)]))
+        with pytest.raises(ValidationError):
+            wf.files()
+
+    def test_files_collects_unique(self, data_diamond):
+        names = set(data_diamond.files())
+        assert names == {"a.dat", "b.dat", "c.dat"}
+
+    def test_validate_ok(self, montage25):
+        montage25.validate()  # should not raise

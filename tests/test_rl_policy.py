@@ -1,0 +1,97 @@
+"""Tests for repro.rl.policy — including the paper's inverted ε convention."""
+
+import pytest
+
+from repro.rl import DecayingEpsilonPolicy, EpsilonGreedyPolicy, QTable, SoftmaxPolicy
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError
+
+
+@pytest.fixture
+def table():
+    t = QTable(init_scale=0.0)
+    t.set("s", "best", 10.0)
+    t.set("s", "worse", 1.0)
+    t.set("s", "worst", 0.0)
+    return t
+
+
+@pytest.fixture
+def rng():
+    return RngService(3).stream("policy-test")
+
+
+def exploit_fraction(policy, table, rng, n=3000):
+    hits = sum(
+        1 for _ in range(n)
+        if policy.choose(table, "s", ["best", "worse", "worst"], rng) == "best"
+    )
+    return hits / n
+
+
+class TestPaperEpsilonConvention:
+    def test_epsilon_is_exploit_probability(self, table, rng):
+        """ε = 0.9 must mean 'exploit 90% of the time' (paper §II/III-C)."""
+        frac = exploit_fraction(EpsilonGreedyPolicy(0.9), table, rng)
+        # exploit 90% + random hits best 1/3 of the remaining 10%
+        assert frac == pytest.approx(0.9 + 0.1 / 3, abs=0.03)
+
+    def test_low_epsilon_mostly_random(self, table, rng):
+        frac = exploit_fraction(EpsilonGreedyPolicy(0.1), table, rng)
+        assert frac == pytest.approx(0.1 + 0.9 / 3, abs=0.03)
+
+    def test_epsilon_one_always_best(self, table, rng):
+        assert exploit_fraction(EpsilonGreedyPolicy(1.0), table, rng, n=200) == 1.0
+
+    def test_epsilon_zero_uniform(self, table, rng):
+        frac = exploit_fraction(EpsilonGreedyPolicy(0.0), table, rng)
+        assert frac == pytest.approx(1 / 3, abs=0.04)
+
+    def test_textbook_convention_flag(self, table, rng):
+        policy = EpsilonGreedyPolicy(0.1, epsilon_is_exploration=True)
+        frac = exploit_fraction(policy, table, rng)
+        assert frac == pytest.approx(0.9 + 0.1 / 3, abs=0.03)
+
+    def test_empty_actions_rejected(self, table, rng):
+        with pytest.raises(ValidationError):
+            EpsilonGreedyPolicy(0.5).choose(table, "s", [], rng)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValidationError):
+            EpsilonGreedyPolicy(1.5)
+
+
+class TestDecayingEpsilon:
+    def test_anneals_towards_final(self):
+        policy = DecayingEpsilonPolicy(epsilon=0.1, epsilon_final=0.95, decay=0.5)
+        for _ in range(20):
+            policy.episode_finished()
+        assert policy.epsilon == pytest.approx(0.95, abs=1e-3)
+
+    def test_monotonic_increase(self):
+        policy = DecayingEpsilonPolicy(epsilon=0.1, epsilon_final=0.9, decay=0.9)
+        values = []
+        for _ in range(10):
+            values.append(policy.epsilon)
+            policy.episode_finished()
+        assert values == sorted(values)
+
+
+class TestSoftmax:
+    def test_prefers_high_q(self, table, rng):
+        policy = SoftmaxPolicy(temperature=1.0)
+        frac = exploit_fraction(policy, table, rng)
+        assert frac > 0.9  # Q gap of 9 at T=1 is near-deterministic
+
+    def test_high_temperature_uniform(self, table, rng):
+        policy = SoftmaxPolicy(temperature=1e6)
+        frac = exploit_fraction(policy, table, rng)
+        assert frac == pytest.approx(1 / 3, abs=0.04)
+
+    def test_temperature_validated(self):
+        with pytest.raises(ValidationError):
+            SoftmaxPolicy(temperature=0.0)
+
+    def test_empty_actions_rejected(self, table, rng):
+        with pytest.raises(ValidationError):
+            SoftmaxPolicy().choose(table, "s", [], rng)

@@ -1,0 +1,105 @@
+"""Tests for repro.schedulers.budget — budget-constrained planning."""
+
+import pytest
+
+from repro.schedulers import BudgetConstrainedScheduler, PlanFollowingScheduler
+from repro.schedulers.budget import cheapest_plan_cost, heft_plan_cost
+from repro.sim import WorkflowSimulator, ZeroCostNetwork
+from repro.util.validate import ValidationError
+
+
+def plan_usage_cost(wf, fleet, plan):
+    result = WorkflowSimulator(
+        wf, fleet, PlanFollowingScheduler(plan), network=ZeroCostNetwork()
+    ).run()
+    return result.usage_cost(), result.makespan
+
+
+class TestCostBounds:
+    def test_cheapest_below_heft(self, montage25, fleet16):
+        assert (cheapest_plan_cost(montage25, fleet16)
+                <= heft_plan_cost(montage25, fleet16))
+
+    def test_cheapest_uses_micro_prices(self, montage25, fleet16):
+        # with equal speeds, the cheapest plan is all-micro: cost =
+        # total duration x micro hourly price
+        cost = cheapest_plan_cost(montage25, fleet16)
+        assert cost > 0
+        plan = BudgetConstrainedScheduler(budget_factor=0.0).plan(
+            montage25, fleet16
+        )
+        assert all(v < 8 for v in plan.assignment.values())  # no 2xlarge
+
+
+class TestBudgetPlans:
+    def test_zero_factor_cheapest(self, montage25, fleet16):
+        plan = BudgetConstrainedScheduler(budget_factor=0.0).plan(
+            montage25, fleet16
+        )
+        plan.validate_against(montage25, fleet16)
+        cost, _ = plan_usage_cost(montage25, fleet16, plan)
+        # realized usage cost close to the cheapest estimate
+        assert cost <= cheapest_plan_cost(montage25, fleet16) * 1.5
+
+    def test_factor_one_matches_heft_quality(self, montage25, fleet16):
+        from repro.schedulers import HeftScheduler
+
+        budgeted = BudgetConstrainedScheduler(budget_factor=1.0).plan(
+            montage25, fleet16
+        )
+        heft = HeftScheduler().plan(montage25, fleet16)
+        _, mk_budgeted = plan_usage_cost(montage25, fleet16, budgeted)
+        _, mk_heft = plan_usage_cost(montage25, fleet16, heft)
+        assert mk_budgeted <= mk_heft * 1.10
+
+    def test_pareto_monotonicity(self, montage50, fleet16):
+        """More budget never hurts makespan (within tolerance) and less
+        budget never raises cost."""
+        points = []
+        for factor in (0.0, 0.5, 1.0):
+            plan = BudgetConstrainedScheduler(budget_factor=factor).plan(
+                montage50, fleet16
+            )
+            cost, makespan = plan_usage_cost(montage50, fleet16, plan)
+            points.append((factor, cost, makespan))
+        costs = [c for _, c, _ in points]
+        makespans = [m for _, _, m in points]
+        assert costs[0] <= costs[1] * 1.05 and costs[1] <= costs[2] * 1.05
+        assert makespans[2] <= makespans[0] * 1.05
+
+    def test_explicit_budget_respected(self, montage25, fleet16):
+        sched = BudgetConstrainedScheduler(budget_factor=0.3)
+        budget = sched.resolve_budget(montage25, fleet16)
+        plan = sched.plan(montage25, fleet16)
+        cost, _ = plan_usage_cost(montage25, fleet16, plan)
+        # realized cost tracks the planned budget (estimates are nominal,
+        # allow modest slack)
+        assert cost <= budget * 1.25
+
+    def test_infeasible_budget_rejected(self, montage25, fleet16):
+        with pytest.raises(ValidationError):
+            BudgetConstrainedScheduler(budget=0.0000001).plan(
+                montage25, fleet16
+            )
+
+    def test_executes_successfully(self, montage25, fleet16):
+        plan = BudgetConstrainedScheduler(budget_factor=0.5).plan(
+            montage25, fleet16
+        )
+        result = WorkflowSimulator(
+            montage25, fleet16, PlanFollowingScheduler(plan),
+            network=ZeroCostNetwork(),
+        ).run()
+        assert result.succeeded
+
+    def test_priority_topologically_consistent(self, montage25, fleet16):
+        plan = BudgetConstrainedScheduler(budget_factor=0.5).plan(
+            montage25, fleet16
+        )
+        pos = {n: i for i, n in enumerate(plan.priority)}
+        for parent, child in montage25.edges:
+            assert pos[parent] < pos[child]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            BudgetConstrainedScheduler(budget=-1.0)

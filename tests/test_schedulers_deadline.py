@@ -1,0 +1,102 @@
+"""Tests for repro.schedulers.deadline — deadline-constrained planning."""
+
+import pytest
+
+from repro.dag import Workflow
+from repro.schedulers import PlanFollowingScheduler
+from repro.schedulers.deadline import (
+    DeadlineConstrainedScheduler,
+    heft_makespan_estimate,
+)
+from repro.sim import WorkflowSimulator, ZeroCostNetwork
+from repro.util.validate import ValidationError
+
+
+def run_plan(wf, fleet, plan):
+    return WorkflowSimulator(
+        wf, fleet, PlanFollowingScheduler(plan), network=ZeroCostNetwork()
+    ).run()
+
+
+class TestHeftEstimate:
+    def test_positive_and_consistent(self, montage25, fleet16):
+        estimate = heft_makespan_estimate(montage25, fleet16)
+        assert estimate > 0
+        # the estimate is deterministic
+        assert estimate == heft_makespan_estimate(montage25, fleet16)
+
+    def test_scales_with_workflow(self, fleet16):
+        from repro.workflows import montage
+
+        small = heft_makespan_estimate(montage(25, seed=1), fleet16)
+        large = heft_makespan_estimate(montage(100, seed=1), fleet16)
+        assert large > small
+
+
+class TestDeadlinePlans:
+    def test_valid_and_executable(self, montage25, fleet16):
+        plan = DeadlineConstrainedScheduler(deadline_factor=1.5).plan(
+            montage25, fleet16
+        )
+        plan.validate_against(montage25, fleet16)
+        assert run_plan(montage25, fleet16, plan).succeeded
+
+    def test_tight_deadline_behaves_like_heft(self, montage50, fleet16):
+        from repro.schedulers import HeftScheduler
+
+        tight = DeadlineConstrainedScheduler(deadline_factor=1.0).plan(
+            montage50, fleet16
+        )
+        heft = HeftScheduler().plan(montage50, fleet16)
+        mk_tight = run_plan(montage50, fleet16, tight).makespan
+        mk_heft = run_plan(montage50, fleet16, heft).makespan
+        assert mk_tight <= mk_heft * 1.20
+
+    def test_loose_deadline_saves_money(self, montage50, fleet16):
+        tight = DeadlineConstrainedScheduler(deadline_factor=1.0).plan(
+            montage50, fleet16
+        )
+        loose = DeadlineConstrainedScheduler(deadline_factor=3.0).plan(
+            montage50, fleet16
+        )
+        cost_tight = run_plan(montage50, fleet16, tight).usage_cost()
+        cost_loose = run_plan(montage50, fleet16, loose).usage_cost()
+        assert cost_loose <= cost_tight
+
+    def test_loose_deadline_respected(self, montage50, fleet16):
+        sched = DeadlineConstrainedScheduler(deadline_factor=2.0)
+        deadline = sched.resolve_deadline(montage50, fleet16)
+        plan = sched.plan(montage50, fleet16)
+        # plan-following replay can only be faster than the planner's
+        # conservative single-slot model; allow modest slack regardless
+        makespan = run_plan(montage50, fleet16, plan).makespan
+        assert makespan <= deadline * 1.10
+
+    def test_absolute_deadline(self, montage25, fleet16):
+        estimate = heft_makespan_estimate(montage25, fleet16)
+        sched = DeadlineConstrainedScheduler(deadline=estimate * 2)
+        assert sched.resolve_deadline(montage25, fleet16) == estimate * 2
+        plan = sched.plan(montage25, fleet16)
+        plan.validate_against(montage25, fleet16)
+
+    def test_impossible_deadline_is_best_effort(self, montage25, fleet16):
+        # a 1-second deadline can't be met; the planner must still emit a
+        # complete, executable plan (fastest placements)
+        plan = DeadlineConstrainedScheduler(deadline=1.0).plan(
+            montage25, fleet16
+        )
+        assert run_plan(montage25, fleet16, plan).succeeded
+
+    def test_priority_topologically_consistent(self, montage25, fleet16):
+        plan = DeadlineConstrainedScheduler().plan(montage25, fleet16)
+        pos = {n: i for i, n in enumerate(plan.priority)}
+        for parent, child in montage25.edges:
+            assert pos[parent] < pos[child]
+
+    def test_validation(self, fleet_small):
+        with pytest.raises(ValidationError):
+            DeadlineConstrainedScheduler(deadline=0.0)
+        with pytest.raises(ValidationError):
+            DeadlineConstrainedScheduler(deadline_factor=0.0)
+        with pytest.raises(ValidationError):
+            DeadlineConstrainedScheduler().plan(Workflow("empty"), fleet_small)

@@ -1,0 +1,154 @@
+"""Tests for the list-scheduling heuristics and online schedulers."""
+
+import pytest
+
+from repro.schedulers import (
+    FcfsScheduler,
+    GreedyOnlineScheduler,
+    HeftScheduler,
+    MaxMinScheduler,
+    MctScheduler,
+    MinMinScheduler,
+    OlbScheduler,
+    PlanFollowingScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SufferageScheduler,
+)
+from repro.schedulers.timeline import SlotTimeline
+from repro.sim import WorkflowSimulator, ZeroCostNetwork
+from repro.util.validate import ValidationError
+
+ALL_STATIC = [
+    HeftScheduler,
+    MinMinScheduler,
+    MaxMinScheduler,
+    SufferageScheduler,
+    MctScheduler,
+    OlbScheduler,
+]
+
+
+class TestSlotTimeline:
+    def test_append(self):
+        t = SlotTimeline()
+        assert t.earliest_start(0.0, 5.0) == 0.0
+        t.reserve(0.0, 5.0)
+        assert t.ready_time == 5.0
+        assert t.earliest_start(0.0, 3.0, insertion=False) == 5.0
+
+    def test_insertion_finds_gap(self):
+        t = SlotTimeline()
+        t.reserve(0.0, 2.0)
+        t.reserve(10.0, 2.0)
+        assert t.earliest_start(0.0, 5.0) == 2.0  # gap [2, 10)
+        assert t.earliest_start(0.0, 9.0) == 12.0  # too long for the gap
+
+    def test_insertion_respects_release(self):
+        t = SlotTimeline()
+        t.reserve(0.0, 2.0)
+        t.reserve(10.0, 2.0)
+        assert t.earliest_start(5.0, 3.0) == 5.0
+
+    def test_overlap_rejected(self):
+        t = SlotTimeline()
+        t.reserve(0.0, 5.0)
+        with pytest.raises(ValidationError):
+            t.reserve(3.0, 1.0)
+        with pytest.raises(ValidationError):
+            t.reserve(4.9, 10.0)
+
+    def test_zero_duration_ok(self):
+        t = SlotTimeline()
+        t.reserve(1.0, 0.0)
+        assert len(t) == 1
+
+
+class TestStaticPlanners:
+    @pytest.mark.parametrize("cls", ALL_STATIC)
+    def test_plan_valid_and_executable(self, cls, montage25, fleet16):
+        plan = cls().plan(montage25, fleet16)
+        plan.validate_against(montage25, fleet16)
+        result = WorkflowSimulator(
+            montage25, fleet16, PlanFollowingScheduler(plan),
+            network=ZeroCostNetwork(),
+        ).run()
+        assert result.succeeded
+        assert result.assignment == plan.assignment
+
+    @pytest.mark.parametrize("cls", ALL_STATIC)
+    def test_deterministic(self, cls, montage25, fleet16):
+        assert (cls().plan(montage25, fleet16).assignment
+                == cls().plan(montage25, fleet16).assignment)
+
+    @pytest.mark.parametrize("cls", ALL_STATIC)
+    def test_priority_topologically_consistent(self, cls, montage25, fleet16):
+        plan = cls().plan(montage25, fleet16)
+        pos = {n: i for i, n in enumerate(plan.priority)}
+        for p, c in montage25.edges:
+            assert pos[p] < pos[c]
+
+    def test_minmin_schedules_short_tasks_first(self, fork_join, fleet_small):
+        plan = MinMinScheduler().plan(fork_join, fleet_small)
+        # entry (runtime 3) first, then the 10s middles, exit last
+        assert plan.priority[0] == 0 and plan.priority[-1] == 7
+
+    def test_heuristics_beat_olb_on_montage(self, montage50, fleet16):
+        def makespan(cls):
+            plan = cls().plan(montage50, fleet16)
+            return WorkflowSimulator(
+                montage50, fleet16, PlanFollowingScheduler(plan),
+                network=ZeroCostNetwork(),
+            ).run().makespan
+
+        olb = makespan(OlbScheduler)
+        for cls in (MinMinScheduler, MaxMinScheduler, SufferageScheduler,
+                    MctScheduler):
+            assert makespan(cls) <= olb * 1.2
+
+
+class TestOnlineSchedulers:
+    @pytest.mark.parametrize("factory", [
+        FcfsScheduler,
+        RoundRobinScheduler,
+        lambda: RandomScheduler(seed=4),
+        GreedyOnlineScheduler,
+    ])
+    def test_complete_workflow(self, factory, montage25, fleet16):
+        result = WorkflowSimulator(
+            montage25, fleet16, factory(), network=ZeroCostNetwork()
+        ).run()
+        assert result.succeeded
+        assert len(result.records) == 25
+
+    def test_fcfs_prefers_earliest_ready(self, diamond, fleet_small):
+        result = WorkflowSimulator(
+            diamond, fleet_small, FcfsScheduler(), network=ZeroCostNetwork()
+        ).run()
+        assert result.succeeded
+
+    def test_random_deterministic_with_seed(self, montage25, fleet16):
+        a = WorkflowSimulator(montage25, fleet16, RandomScheduler(seed=4),
+                              network=ZeroCostNetwork()).run()
+        b = WorkflowSimulator(montage25, fleet16, RandomScheduler(seed=4),
+                              network=ZeroCostNetwork()).run()
+        assert a.assignment == b.assignment
+
+    def test_greedy_beats_random(self, montage50, fleet16):
+        greedy = WorkflowSimulator(
+            montage50, fleet16, GreedyOnlineScheduler(),
+            network=ZeroCostNetwork(),
+        ).run()
+        rand = WorkflowSimulator(
+            montage50, fleet16, RandomScheduler(seed=4),
+            network=ZeroCostNetwork(),
+        ).run()
+        assert greedy.makespan <= rand.makespan
+
+    def test_round_robin_spreads(self, fork_join, fleet16):
+        result = WorkflowSimulator(
+            fork_join, fleet16, RoundRobinScheduler(),
+            network=ZeroCostNetwork(),
+        ).run()
+        used = {r.vm_id for r in result.records}
+        assert len(used) >= 4

@@ -1,0 +1,84 @@
+"""Tests for repro.sim.events — the event heap."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, EventType
+from repro.util.validate import ValidationError
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.schedule(5.0, EventType.DISPATCH)
+        q.schedule(1.0, EventType.DISPATCH)
+        q.schedule(3.0, EventType.DISPATCH)
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.schedule(1.0, EventType.DISPATCH)
+        q.schedule(1.0, EventType.ACTIVATION_DONE)
+        # completions processed before dispatches at the same instant
+        assert q.pop().type is EventType.ACTIVATION_DONE
+        assert q.pop().type is EventType.DISPATCH
+
+    def test_fifo_among_equal(self):
+        q = EventQueue()
+        q.schedule(1.0, EventType.DISPATCH, "first")
+        q.schedule(1.0, EventType.DISPATCH, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_priority_values(self):
+        # VM_READY < MIGRATION_END < ACTIVATION_DONE < MIGRATION_START < DISPATCH
+        assert (EventType.VM_READY < EventType.MIGRATION_END
+                < EventType.ACTIVATION_DONE < EventType.MIGRATION_START
+                < EventType.DISPATCH < EventType.END_OF_SIMULATION)
+
+
+class TestCancellation:
+    def test_cancelled_skipped(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, EventType.DISPATCH, "dead")
+        q.schedule(2.0, EventType.DISPATCH, "alive")
+        ev.cancel()
+        assert q.pop().payload == "alive"
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, EventType.DISPATCH)
+        q.schedule(4.0, EventType.DISPATCH)
+        ev.cancel()
+        assert q.peek_time() == 4.0
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, EventType.DISPATCH)
+        q.schedule(2.0, EventType.DISPATCH)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+
+class TestEdgeCases:
+    def test_empty_pop(self):
+        assert EventQueue().pop() is None
+
+    def test_empty_peek(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1.0, EventType.DISPATCH)
+        assert q
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            EventQueue().schedule(-1.0, EventType.DISPATCH)
+
+    def test_push_returns_event(self):
+        q = EventQueue()
+        ev = Event(time=1.0, type=EventType.DISPATCH)
+        assert q.push(ev) is ev

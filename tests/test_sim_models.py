@@ -1,0 +1,233 @@
+"""Tests for the environment models: network, fluctuation, failures,
+migrations and the datacenter."""
+
+import numpy as np
+import pytest
+
+from repro.dag import File
+from repro.sim import (
+    BernoulliFailures,
+    BurstThrottleFluctuation,
+    ComposedFluctuation,
+    Datacenter,
+    GaussianFluctuation,
+    InterferenceFluctuation,
+    NoFailures,
+    NoFluctuation,
+    NoMigrations,
+    PeriodicMigrations,
+    SharedStorageNetwork,
+    ZeroCostNetwork,
+)
+from repro.sim.vm import VM_TYPES, Vm
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError
+
+from tests.conftest import make_activation
+
+
+@pytest.fixture
+def micro():
+    return Vm(0, VM_TYPES["t2.micro"])
+
+
+@pytest.fixture
+def big():
+    return Vm(1, VM_TYPES["t2.2xlarge"])
+
+
+@pytest.fixture
+def rng():
+    return RngService(7).stream("test")
+
+
+class TestNetwork:
+    def test_zero_cost(self, micro):
+        net = ZeroCostNetwork()
+        ac = make_activation(0, inputs=[File("a", 1e9)], outputs=[File("b", 1e9)])
+        assert net.stage_in_time(ac, micro, {}) == 0.0
+        assert net.stage_out_time(ac, micro) == 0.0
+
+    def test_stage_in_from_storage(self, micro):
+        net = SharedStorageNetwork(latency=0.1)
+        ac = make_activation(0, inputs=[File("a", 37.5e6)])  # 1s at 300Mbps
+        assert net.stage_in_time(ac, micro, {}) == pytest.approx(1.1)
+
+    def test_local_files_free(self, micro):
+        net = SharedStorageNetwork(latency=0.1)
+        ac = make_activation(0, inputs=[File("a", 37.5e6)])
+        assert net.stage_in_time(ac, micro, {"a": micro.id}) == 0.0
+
+    def test_remote_producer_still_costs(self, micro, big):
+        net = SharedStorageNetwork(latency=0.0)
+        ac = make_activation(0, inputs=[File("a", 37.5e6)])
+        assert net.stage_in_time(ac, micro, {"a": big.id}) == pytest.approx(1.0)
+
+    def test_stage_out(self, micro):
+        net = SharedStorageNetwork(latency=0.0)
+        ac = make_activation(0, outputs=[File("o", 37.5e6)])
+        assert net.stage_out_time(ac, micro) == pytest.approx(1.0)
+
+    def test_upload_disabled(self, micro):
+        net = SharedStorageNetwork(upload_outputs=False)
+        ac = make_activation(0, outputs=[File("o", 1e9)])
+        assert net.stage_out_time(ac, micro) == 0.0
+
+    def test_faster_vm_faster_transfer(self, micro, big):
+        net = SharedStorageNetwork(latency=0.0)
+        ac = make_activation(0, inputs=[File("a", 1e8)])
+        assert net.stage_in_time(ac, big, {}) < net.stage_in_time(ac, micro, {})
+
+
+class TestFluctuation:
+    def test_none(self, micro, rng):
+        assert NoFluctuation().factor(micro, 0.0, 0.0, rng) == 1.0
+
+    def test_gaussian_centers_on_one(self, micro, rng):
+        model = GaussianFluctuation(sigma=0.05)
+        samples = [model.factor(micro, 0.0, 0.0, rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.01)
+
+    def test_gaussian_floor(self, micro, rng):
+        model = GaussianFluctuation(sigma=10.0)
+        assert min(
+            model.factor(micro, 0.0, 0.0, rng) for _ in range(500)
+        ) >= 0.05
+
+    def test_throttle_only_after_credits(self, micro, rng):
+        model = BurstThrottleFluctuation(credit_seconds=100.0, throttle_factor=2.0)
+        assert model.factor(micro, 0.0, 50.0, rng) == 1.0
+        assert model.factor(micro, 0.0, 150.0, rng) == 2.0
+
+    def test_throttle_spares_big_vms(self, big, rng):
+        model = BurstThrottleFluctuation(credit_seconds=100.0, throttle_factor=2.0)
+        assert model.factor(big, 0.0, 1e6, rng) == 1.0
+
+    def test_throttle_is_deterministic(self, micro, rng):
+        model = BurstThrottleFluctuation()
+        a = model.factor(micro, 0.0, 1e6, rng)
+        b = model.factor(micro, 0.0, 1e6, rng)
+        assert a == b
+
+    def test_interference_probability(self, micro, rng):
+        model = InterferenceFluctuation(probability=0.5, slowdown=3.0)
+        samples = [model.factor(micro, 0.0, 0.0, rng) for _ in range(2000)]
+        frac = sum(1 for s in samples if s == 3.0) / len(samples)
+        assert 0.45 < frac < 0.55
+
+    def test_composed_multiplies(self, micro, rng):
+        model = ComposedFluctuation([
+            BurstThrottleFluctuation(credit_seconds=1.0, throttle_factor=2.0),
+            BurstThrottleFluctuation(credit_seconds=1.0, throttle_factor=3.0),
+        ])
+        assert model.factor(micro, 0.0, 10.0, rng) == pytest.approx(6.0)
+
+    def test_composed_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedFluctuation([])
+
+    def test_throttle_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            BurstThrottleFluctuation(throttle_factor=0.5)
+
+
+class TestFailures:
+    def test_no_failures(self, micro, rng):
+        assert not NoFailures().attempt_fails(make_activation(0), micro, 0, rng)
+
+    def test_always_fails(self, micro, rng):
+        model = BernoulliFailures(1.0)
+        assert model.attempt_fails(make_activation(0), micro, 0, rng)
+
+    def test_activity_filter(self, micro, rng):
+        model = BernoulliFailures(1.0, activity="mDiffFit")
+        assert not model.attempt_fails(
+            make_activation(0, activity="mAdd"), micro, 0, rng
+        )
+        assert model.attempt_fails(
+            make_activation(0, activity="mDiffFit"), micro, 0, rng
+        )
+
+    def test_vm_filter(self, micro, big, rng):
+        model = BernoulliFailures(1.0, vm_id=1)
+        assert not model.attempt_fails(make_activation(0), micro, 0, rng)
+        assert model.attempt_fails(make_activation(0), big, 0, rng)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValidationError):
+            BernoulliFailures(1.5)
+
+
+class TestMigrations:
+    def test_none(self, micro, rng):
+        assert NoMigrations().windows([micro], 1e4, rng) == []
+
+    def test_periodic_windows_in_horizon(self, micro, big, rng):
+        model = PeriodicMigrations(mean_interval=100.0)
+        windows = model.windows([micro, big], 1000.0, rng)
+        assert windows, "expected some migrations over 10 mean intervals"
+        for w in windows:
+            assert 0 <= w.start < 1000.0
+            assert 5.0 <= w.downtime <= 30.0
+            assert w.vm_id in (0, 1)
+
+    def test_windows_sorted(self, micro, big, rng):
+        model = PeriodicMigrations(mean_interval=50.0)
+        windows = model.windows([micro, big], 2000.0, rng)
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+
+    def test_downtime_bounds_validated(self):
+        with pytest.raises(ValueError):
+            PeriodicMigrations(min_downtime=10.0, max_downtime=5.0)
+
+
+class TestDatacenter:
+    def test_provision_and_ids(self):
+        dc = Datacenter()
+        fleet = dc.provision_fleet({"t2.2xlarge": 1, "t2.micro": 2})
+        # micros (fewer vcpus) get the low ids
+        assert [vm.type.name for vm in fleet] == [
+            "t2.micro", "t2.micro", "t2.2xlarge"
+        ]
+        assert [vm.id for vm in fleet] == [0, 1, 2]
+
+    def test_boot_time_applied(self):
+        dc = Datacenter(default_boot_time=42.0)
+        vm = dc.provision("t2.micro")
+        assert vm.type.boot_time == 42.0
+
+    def test_unknown_type(self):
+        with pytest.raises(ValidationError):
+            Datacenter().provision("m5.large")
+
+    def test_billing_hourly_ceiling(self):
+        dc = Datacenter()
+        dc.provision("t2.micro")
+        dc.release_all(at=10.0)  # 10 seconds -> 1 full hour billed
+        assert dc.bill(10.0) == pytest.approx(VM_TYPES["t2.micro"].price_per_hour)
+
+    def test_billing_per_second(self):
+        dc = Datacenter()
+        dc.provision("t2.micro")
+        dc.release_all(at=3600.0)
+        assert dc.bill(3600.0, per_second_billing=True) == pytest.approx(
+            VM_TYPES["t2.micro"].price_per_hour
+        )
+
+    def test_double_release_rejected(self):
+        dc = Datacenter()
+        vm = dc.provision("t2.micro")
+        dc.release(vm.id, 10.0)
+        with pytest.raises(ValidationError):
+            dc.release(vm.id, 20.0)
+
+    def test_release_before_provision_rejected(self):
+        dc = Datacenter()
+        vm = dc.provision("t2.micro", at=100.0)
+        with pytest.raises(ValidationError):
+            dc.release(vm.id, 50.0)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValidationError):
+            Datacenter().provision_fleet({})

@@ -1,0 +1,126 @@
+"""Property-based tests: the simulator must uphold its invariants on
+arbitrary random DAGs, fleets and schedulers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag import Activation, Workflow
+from repro.schedulers import (
+    FcfsScheduler,
+    GreedyOnlineScheduler,
+    HeftScheduler,
+    MinMinScheduler,
+    PlanFollowingScheduler,
+    RandomScheduler,
+)
+from repro.sim import GaussianFluctuation, WorkflowSimulator, ZeroCostNetwork
+from repro.sim.vm import VM_TYPES, Vm
+
+
+@st.composite
+def random_dag(draw):
+    """A random DAG of 1..20 activations with forward-only edges."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    wf = Workflow("random")
+    for i in range(n):
+        runtime = draw(st.floats(min_value=0.1, max_value=50.0))
+        wf.add_activation(Activation(id=i, activity=f"act{i % 3}", runtime=runtime))
+    for child in range(1, n):
+        n_parents = draw(st.integers(min_value=0, max_value=min(3, child)))
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=child - 1),
+                min_size=n_parents, max_size=n_parents, unique=True,
+            )
+        )
+        for p in parents:
+            wf.add_dependency(p, child)
+    return wf
+
+
+@st.composite
+def random_fleet(draw):
+    """1..4 VMs mixing micro and 2xlarge."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    names = draw(
+        st.lists(
+            st.sampled_from(["t2.micro", "t2.2xlarge", "t2.medium"]),
+            min_size=n, max_size=n,
+        )
+    )
+    return [Vm(i, VM_TYPES[name]) for i, name in enumerate(names)]
+
+
+def check_invariants(wf, result, vms):
+    assert result.succeeded
+    assert sorted(r.activation_id for r in result.records) == wf.activation_ids
+    finish = {r.activation_id: r.finish_time for r in result.records}
+    start = {r.activation_id: r.start_time for r in result.records}
+    # dependencies respected
+    for p, c in wf.edges:
+        assert start[c] >= finish[p] - 1e-9
+    # capacity respected
+    capacity = {vm.id: vm.capacity for vm in vms}
+    events = []
+    for r in result.records:
+        events.append((r.start_time, 1, r.vm_id))
+        events.append((r.finish_time, -1, r.vm_id))
+    events.sort(key=lambda e: (e[0], e[1]))
+    load = {vm.id: 0 for vm in vms}
+    for _, delta, vm_id in events:
+        load[vm_id] += delta
+        assert 0 <= load[vm_id] <= capacity[vm_id]
+    # makespan consistency
+    assert result.makespan == pytest.approx(max(finish.values()))
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet(),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_online_schedulers_preserve_invariants(self, wf, fleet, seed):
+        result = WorkflowSimulator(
+            wf, fleet, RandomScheduler(seed=seed),
+            network=ZeroCostNetwork(), seed=seed,
+        ).run()
+        check_invariants(wf, result, fleet)
+
+    @settings(max_examples=25, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet())
+    def test_static_plans_preserve_invariants(self, wf, fleet):
+        for cls in (HeftScheduler, MinMinScheduler):
+            plan = cls().plan(wf, fleet)
+            result = WorkflowSimulator(
+                wf, fleet, PlanFollowingScheduler(plan),
+                network=ZeroCostNetwork(),
+            ).run()
+            check_invariants(wf, result, fleet)
+            assert result.assignment == plan.assignment
+
+    @settings(max_examples=25, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet(),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_fluctuation_preserves_invariants(self, wf, fleet, seed):
+        result = WorkflowSimulator(
+            wf, fleet, GreedyOnlineScheduler(),
+            network=ZeroCostNetwork(),
+            fluctuation=GaussianFluctuation(0.3),
+            seed=seed,
+        ).run()
+        check_invariants(wf, result, fleet)
+
+    @settings(max_examples=25, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet())
+    def test_makespan_lower_bounds(self, wf, fleet):
+        """Makespan >= critical path / max speed and >= serial / capacity."""
+        from repro.dag import critical_path_length, serial_runtime
+
+        result = WorkflowSimulator(
+            wf, fleet, FcfsScheduler(), network=ZeroCostNetwork()
+        ).run()
+        max_speed = max(vm.type.speed for vm in fleet)
+        total_slots = sum(vm.capacity for vm in fleet)
+        cp_bound = critical_path_length(wf) / max_speed
+        area_bound = serial_runtime(wf) / (total_slots * max_speed)
+        assert result.makespan >= cp_bound - 1e-6
+        assert result.makespan >= area_bound - 1e-6

@@ -1,0 +1,144 @@
+"""Tests for spot-instance revocations (repro.sim.spot + simulator)."""
+
+import pytest
+
+from repro.schedulers import GreedyOnlineScheduler, HeftScheduler, PlanFollowingScheduler
+from repro.sim import (
+    NoRevocations,
+    PoissonRevocations,
+    Revocation,
+    WorkflowSimulator,
+    ZeroCostNetwork,
+    t2_fleet,
+)
+from repro.sim.simulator import SimulationError
+from repro.sim.spot import RevocationModel
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError
+
+
+class FixedRevocations(RevocationModel):
+    """Deterministic test double."""
+
+    def __init__(self, revocations):
+        self._revocations = list(revocations)
+
+    def revocations(self, vms, horizon, rng):
+        return [r for r in self._revocations if r.time < horizon]
+
+
+@pytest.fixture
+def rng():
+    return RngService(4).stream("t")
+
+
+class TestModels:
+    def test_none(self, fleet16, rng):
+        assert NoRevocations().revocations(fleet16, 1e4, rng) == []
+
+    def test_poisson_respects_fraction(self, fleet16, rng):
+        model = PoissonRevocations(mean_lifetime=1.0, spot_fraction=0.5)
+        revs = model.revocations(fleet16, 1e6, rng)
+        # 9 VMs, fraction 0.5 -> at most round(4.5)=4 spot VMs, all revoked
+        # eventually at this tiny lifetime
+        assert len(revs) == 4
+        # the spot VMs are the high ids
+        assert {r.vm_id for r in revs} == {5, 6, 7, 8}
+
+    def test_poisson_protects_fleet(self, rng):
+        fleet = t2_fleet(2, 0)
+        model = PoissonRevocations(mean_lifetime=1.0, spot_fraction=1.0,
+                                   protect_last=1)
+        revs = model.revocations(fleet, 1e6, rng)
+        assert {r.vm_id for r in revs} <= {1}  # VM 0 protected
+
+    def test_sorted_by_time(self, fleet16, rng):
+        revs = PoissonRevocations(mean_lifetime=100.0).revocations(
+            fleet16, 1e5, rng
+        )
+        times = [r.time for r in revs]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonRevocations(mean_lifetime=0)
+        with pytest.raises(ValueError):
+            PoissonRevocations(protect_last=0)
+        with pytest.raises(ValidationError):
+            Revocation(vm_id=0, time=-1.0)
+
+
+class TestSimulatorIntegration:
+    def test_revoked_vm_unused_after(self, montage25, fleet16):
+        revs = FixedRevocations([Revocation(vm_id=8, time=30.0)])
+        result = WorkflowSimulator(
+            montage25, fleet16, GreedyOnlineScheduler(),
+            network=ZeroCostNetwork(), revocations=revs,
+        ).run()
+        assert result.succeeded
+        for r in result.records:
+            if r.vm_id == 8:
+                assert r.start_time < 30.0
+                # interrupted work finished elsewhere, so anything
+                # recorded on VM 8 completed before the revocation
+                assert r.finish_time <= 30.0 + 1e-9
+
+    def test_interrupted_work_reruns_elsewhere(self, montage25, fleet16):
+        # VM 0 certainly has work at t=5 (greedy fills low ids first)
+        revs = FixedRevocations([Revocation(vm_id=0, time=5.0)])
+        clean = WorkflowSimulator(
+            montage25, fleet16, GreedyOnlineScheduler(),
+            network=ZeroCostNetwork(),
+        ).run()
+        interrupted_id = next(
+            r.activation_id for r in clean.records
+            if r.vm_id == 0 and r.start_time < 5.0 < r.finish_time
+        )
+        revoked = WorkflowSimulator(
+            montage25, fleet16, GreedyOnlineScheduler(),
+            network=ZeroCostNetwork(), revocations=revs,
+        ).run()
+        assert revoked.succeeded
+        assert len(revoked.records) == len(montage25)
+        # the interrupted activation completed on a surviving VM
+        rerun = revoked.record(interrupted_id)
+        assert rerun.vm_id != 0
+        # and losing capacity never helps
+        assert revoked.makespan >= clean.makespan - 1e-9
+
+    def test_static_plan_deadlocks_on_revocation(self, montage25, fleet16):
+        plan = HeftScheduler().plan(montage25, fleet16)
+        # revoke a VM the plan certainly uses before anything finishes
+        used_vm = plan.vm_of(montage25.exits()[0])
+        revs = FixedRevocations([Revocation(vm_id=used_vm, time=1.0)])
+        sim = WorkflowSimulator(
+            montage25, fleet16, PlanFollowingScheduler(plan),
+            network=ZeroCostNetwork(), revocations=revs,
+        )
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_revocation_of_idle_vm_is_quiet(self, chain, fleet16):
+        revs = FixedRevocations([Revocation(vm_id=7, time=0.5)])
+
+        class PinToZero(GreedyOnlineScheduler):
+            def select(self, ctx):
+                ready = ctx.ready_activations
+                idle = [vm for vm in ctx.idle_vms if vm.id == 0]
+                if not ready or not idle:
+                    return None
+                return (ready[0].id, 0)
+
+        result = WorkflowSimulator(
+            chain, fleet16, PinToZero(),
+            network=ZeroCostNetwork(), revocations=revs,
+        ).run()
+        assert result.succeeded
+
+    def test_unknown_vm_revocation_ignored(self, chain, fleet_small):
+        revs = FixedRevocations([Revocation(vm_id=99, time=0.5)])
+        result = WorkflowSimulator(
+            chain, fleet_small, GreedyOnlineScheduler(),
+            network=ZeroCostNetwork(), revocations=revs,
+        ).run()
+        assert result.succeeded

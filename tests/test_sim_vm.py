@@ -1,0 +1,128 @@
+"""Tests for repro.sim.vm — VM types, VM state and fleets."""
+
+import pytest
+
+from repro.sim.vm import VM_TYPES, Vm, VmType, fleet_vcpus, t2_fleet
+from repro.util.validate import ValidationError
+
+
+class TestVmType:
+    def test_catalog_has_paper_types(self):
+        assert "t2.micro" in VM_TYPES and "t2.2xlarge" in VM_TYPES
+        micro, big = VM_TYPES["t2.micro"], VM_TYPES["t2.2xlarge"]
+        # Table I's specs: 1 vCPU / 1 GB vs 8 vCPUs / (>=16) GB
+        assert micro.vcpus == 1 and micro.ram_gb == 1.0
+        assert big.vcpus == 8
+
+    def test_same_nominal_core_speed(self):
+        # the whole t2 family shares the physical core type
+        speeds = {t.speed for t in VM_TYPES.values()}
+        assert speeds == {1.0}
+
+    def test_bandwidth_conversion(self):
+        t = VmType("x", 1, 1.0, 1.0, 0.0, bandwidth_mbps=800.0)
+        assert t.bandwidth_bytes_per_s == pytest.approx(1e8)
+
+    def test_pricing_order(self):
+        assert (VM_TYPES["t2.micro"].price_per_hour
+                < VM_TYPES["t2.2xlarge"].price_per_hour)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            VmType("", 1, 1.0, 1.0, 0.0)
+        with pytest.raises(ValidationError):
+            VmType("x", 0, 1.0, 1.0, 0.0)
+        with pytest.raises(ValidationError):
+            VmType("x", 1, -1.0, 1.0, 0.0)
+
+
+class TestVm:
+    def test_capacity_tracking(self):
+        vm = Vm(0, VM_TYPES["t2.2xlarge"])
+        assert vm.capacity == 8 and vm.free_slots == 8
+        vm.start(1)
+        vm.start(2)
+        assert vm.free_slots == 6
+        vm.finish(1)
+        assert vm.free_slots == 7
+
+    def test_paper_state_values(self):
+        vm = Vm(0, VM_TYPES["t2.micro"])
+        assert vm.state == "idle"
+        vm.start(1)
+        assert vm.state == "busy"
+
+    def test_multicore_idle_until_full(self):
+        vm = Vm(0, VM_TYPES["t2.2xlarge"])
+        for i in range(8):
+            assert vm.is_idle(0.0)
+            vm.start(i)
+        assert not vm.is_idle(0.0)
+
+    def test_over_capacity_rejected(self):
+        vm = Vm(0, VM_TYPES["t2.micro"])
+        vm.start(1)
+        with pytest.raises(ValidationError):
+            vm.start(2)
+
+    def test_double_start_rejected(self):
+        vm = Vm(0, VM_TYPES["t2.2xlarge"])
+        vm.start(1)
+        with pytest.raises(ValidationError):
+            vm.start(1)
+
+    def test_finish_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            Vm(0, VM_TYPES["t2.micro"]).finish(9)
+
+    def test_not_idle_before_boot(self):
+        vm = Vm(0, VM_TYPES["t2.micro"])
+        vm.available_at = 30.0
+        assert not vm.is_idle(10.0)
+        assert vm.is_idle(30.0)
+
+    def test_not_idle_while_migrating(self):
+        vm = Vm(0, VM_TYPES["t2.micro"])
+        vm.migrating = True
+        assert not vm.is_idle(0.0)
+
+    def test_execution_time_scales_with_speed(self):
+        fast = Vm(0, VmType("fast", 1, 2.0, 1.0, 0.0))
+        assert fast.execution_time(10.0) == pytest.approx(5.0)
+
+    def test_reset(self):
+        vm = Vm(0, VM_TYPES["t2.micro"])
+        vm.start(1)
+        vm.migrating = True
+        vm.available_at = 99.0
+        vm.reset()
+        assert vm.free_slots == 1 and not vm.migrating and vm.available_at == 0.0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            Vm(-1, VM_TYPES["t2.micro"])
+
+
+class TestFleet:
+    def test_table1_shapes(self):
+        # the paper's three fleets
+        assert fleet_vcpus(t2_fleet(8, 1)) == 16
+        assert fleet_vcpus(t2_fleet(8, 3)) == 32
+        assert fleet_vcpus(t2_fleet(8, 7)) == 64
+
+    def test_micros_get_low_ids(self):
+        fleet = t2_fleet(8, 1)
+        assert [vm.type.name for vm in fleet[:8]] == ["t2.micro"] * 8
+        assert fleet[8].type.name == "t2.2xlarge"  # VM 8, as in Table V
+
+    def test_ids_sequential(self):
+        fleet = t2_fleet(2, 2)
+        assert [vm.id for vm in fleet] == [0, 1, 2, 3]
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValidationError):
+            t2_fleet(0, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            t2_fleet(-1, 1)

@@ -1,0 +1,68 @@
+"""Tests for repro.util.tables — rendering and duration formatting."""
+
+import pytest
+
+from repro.util.tables import format_duration, format_hms, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 6  # sep, header, sep, 2 rows, sep
+        assert "| a" in lines[1] and "bb" in lines[1]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.23456789]])
+        assert "1.23457" in out
+
+    def test_wrong_row_length_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "| a" in out
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(93.0) == "93.0 s"
+
+    def test_minutes(self):
+        assert format_duration(300.0) == "5.0 min"
+
+    def test_hours(self):
+        assert format_duration(7200.0) == "2.00 h"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestFormatHms:
+    def test_paper_style(self):
+        # the paper's Table IV shows e.g. 00:03:09.625
+        assert format_hms(189.625) == "00:03:09.625"
+
+    def test_zero(self):
+        assert format_hms(0.0) == "00:00:00.000"
+
+    def test_hours(self):
+        assert format_hms(3661.5) == "01:01:01.500"
+
+    def test_millisecond_rounding_carry(self):
+        assert format_hms(59.9999) == "00:01:00.000"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_hms(-0.5)

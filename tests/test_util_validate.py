@@ -1,0 +1,66 @@
+"""Tests for repro.util.validate — parameter validation helpers."""
+
+import pytest
+
+from repro.util.validate import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2) == 2.0
+        assert isinstance(check_positive("x", 2), float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1.5)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", float("nan"))
+        with pytest.raises(ValidationError):
+            check_positive("x", float("inf"))
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", "3")
+        with pytest.raises(ValidationError):
+            check_positive("x", True)  # bool is not a number here
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, p):
+        assert check_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(ValidationError):
+            check_probability("p", p)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="epsilon"):
+            check_probability("epsilon", 2.0)
+
+
+class TestValidationError:
+    def test_is_value_error(self):
+        # callers can catch either
+        assert issubclass(ValidationError, ValueError)

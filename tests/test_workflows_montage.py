@@ -1,0 +1,122 @@
+"""Tests for repro.workflows.montage — the paper's workload."""
+
+import pytest
+
+from repro.dag import profile_dag
+from repro.util.validate import ValidationError
+from repro.workflows import MontageRecipe, montage
+from repro.workflows.montage import RUNTIME_MEANS
+
+
+class TestStructure:
+    def test_exact_size(self):
+        for n in (11, 25, 50, 100):
+            assert len(montage(n)) == n
+
+    def test_paper_workload_is_default(self):
+        assert len(montage()) == 50
+
+    def test_nine_levels(self):
+        # mProjectPP .. mJPEG
+        assert len(montage(50).levels()) == 9
+
+    def test_activity_composition(self):
+        wf = montage(50)
+        activities = {}
+        for ac in wf:
+            activities[ac.activity] = activities.get(ac.activity, 0) + 1
+        # singletons
+        for single in ("mConcatFit", "mBgModel", "mImgtbl", "mAdd",
+                       "mShrink", "mJPEG"):
+            assert activities[single] == 1
+        # symmetric wide stages
+        assert activities["mProjectPP"] == activities["mBackground"]
+        assert activities["mDiffFit"] >= 1
+        assert set(activities) == set(RUNTIME_MEANS)
+
+    def test_level_order_matches_montage(self):
+        wf = montage(50)
+        levels = wf.levels()
+        level_activities = [
+            {wf.activation(i).activity for i in lvl} for lvl in levels
+        ]
+        assert level_activities[0] == {"mProjectPP"}
+        assert level_activities[1] == {"mDiffFit"}
+        assert level_activities[2] == {"mConcatFit"}
+        assert level_activities[3] == {"mBgModel"}
+        assert level_activities[4] == {"mBackground"}
+        assert level_activities[-1] == {"mJPEG"}
+
+    def test_ids_are_level_ordered(self):
+        # entry tasks (mProjectPP) take the lowest ids, like published DAXes
+        wf = montage(50)
+        assert all(
+            wf.activation(i).activity == "mProjectPP" for i in wf.entries()
+        )
+        assert wf.entries() == list(range(len(wf.entries())))
+
+    def test_mdifffit_consumes_two_projections(self):
+        wf = montage(50)
+        for ac in wf:
+            if ac.activity == "mDiffFit":
+                assert len(ac.inputs) == 2
+                assert all(f.name.startswith("proj_") for f in ac.inputs)
+
+    def test_valid_dag(self):
+        montage(50).validate()
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a, b = montage(50, seed=9), montage(50, seed=9)
+        assert [ac.runtime for ac in a.activations] == [
+            ac.runtime for ac in b.activations
+        ]
+        assert a.edges == b.edges
+
+    def test_different_seed_differs(self):
+        a, b = montage(50, seed=1), montage(50, seed=2)
+        assert [ac.runtime for ac in a.activations] != [
+            ac.runtime for ac in b.activations
+        ]
+
+    def test_structure_invariant_across_seeds(self):
+        assert montage(50, seed=1).edges == montage(50, seed=2).edges
+
+
+class TestSizing:
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            montage(MontageRecipe.min_activations() - 1)
+
+    def test_min_size_works(self):
+        assert len(montage(MontageRecipe.min_activations())) == 11
+
+    @pytest.mark.parametrize("n", range(11, 60))
+    def test_constructible_sizes_build_exactly(self, n):
+        if MontageRecipe.is_constructible(n):
+            wf = montage(n)
+            assert len(wf) == n
+            wf.validate()
+        else:
+            with pytest.raises(ValidationError):
+                montage(n)
+
+    def test_nearest_constructible(self):
+        # 12 is a known arithmetic gap (2w + d + 6 has no solution)
+        assert not MontageRecipe.is_constructible(12)
+        near = MontageRecipe.nearest_constructible(12)
+        assert abs(near - 12) <= 2
+        assert MontageRecipe.is_constructible(near)
+
+    def test_standard_sizes_constructible(self):
+        # the Workflow Generator's published sizes must all exist
+        for n in (25, 50, 100):
+            assert MontageRecipe.is_constructible(n)
+
+    def test_runtime_scale_plausible(self):
+        # the paper's simulated makespans are a few hundred seconds; the
+        # serial runtime of Montage-50 must be in the right ballpark
+        p = profile_dag(montage(50, seed=1))
+        assert 400 < p.serial_runtime < 1200
+        assert 150 < p.critical_path_runtime < 350

@@ -56,9 +56,19 @@ _STATIC = {
 _ONLINE = {
     "fcfs": FcfsScheduler,
     "roundrobin": RoundRobinScheduler,
-    "random": lambda: RandomScheduler(seed=0),
+    # seeded from --seed at construction time (see _cmd_simulate) so one
+    # root seed governs the whole run
+    "random": lambda seed=0: RandomScheduler(seed=seed),
     "greedy": GreedyOnlineScheduler,
 }
+
+
+def _make_online_scheduler(name: str, seed: int):
+    """Instantiate an online scheduler, plumbing the run seed through."""
+    factory = _ONLINE[name]
+    if name == "random":
+        return factory(seed=seed)
+    return factory()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,10 +116,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--provenance", metavar="PATH",
                    help="SQLite provenance DB path (default in-memory)")
 
+    def add_workers_arg(p):
+        p.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="worker processes for independent runs "
+                 "(1 = serial, 0 = all cores; default 1)",
+        )
+
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
     p.add_argument("--episodes", type=int, default=100)
     p.add_argument("--seed", type=int, default=1)
+    add_workers_arg(p)
+
+    p = sub.add_parser("sweep",
+                       help="run the Tables II/III sweep (optionally reduced)")
+    p.add_argument("--episodes", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--vcpus", type=int, nargs="+", default=[16, 32, 64],
+                   choices=(16, 32, 64), metavar="V")
+    p.add_argument("--grid", type=float, nargs="+", default=None, metavar="X",
+                   help="parameter values for alpha/gamma/epsilon "
+                        "(default: the paper's 0.1 0.5 1.0)")
+    p.add_argument("--timing", choices=("wall", "simulated"), default="wall",
+                   help="Table II metric: wall clock or the deterministic "
+                        "simulated learning time")
+    add_workers_arg(p)
+
+    p = sub.add_parser("ensemble",
+                       help="learn plans for a workflow ensemble campaign")
+    p.add_argument("--instances", type=int, default=4)
+    p.add_argument("--size", type=int, default=25,
+                   help="activations per ensemble member")
+    p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
+    p.add_argument("--episodes", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    add_workers_arg(p)
 
     p = sub.add_parser("reproduce",
                        help="run every experiment and write a report")
@@ -117,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--episodes", type=int, default=0,
                    help="0 = REPRO_EPISODES env or the paper's 100")
     p.add_argument("--seed", type=int, default=1)
+    add_workers_arg(p)
 
     return parser
 
@@ -142,7 +185,7 @@ def _cmd_simulate(args) -> int:
         plan = _STATIC[args.scheduler]().plan(wf, fleet)
         scheduler = PlanFollowingScheduler(plan)
     else:
-        scheduler = _ONLINE[args.scheduler]()
+        scheduler = _make_online_scheduler(args.scheduler, args.seed)
     result = WorkflowSimulator(wf, fleet, scheduler, seed=args.seed).run()
     print(f"scheduler={args.scheduler} workflow={wf.name} "
           f"vcpus={args.vcpus}")
@@ -205,7 +248,8 @@ def _cmd_table(args) -> int:
     if args.number in (2, 3):
         from repro.experiments.sweeps import run_paper_sweep
 
-        sweep = run_paper_sweep(episodes=args.episodes, seed=args.seed)
+        sweep = run_paper_sweep(episodes=args.episodes, seed=args.seed,
+                                workers=args.workers)
         print(sweep.render_table2() if args.number == 2
               else sweep.render_table3())
         return 0
@@ -221,10 +265,57 @@ def _cmd_table(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.core.sweep import PAPER_GRID
+    from repro.experiments.sweeps import run_paper_sweep
+
+    grid = tuple(args.grid) if args.grid else PAPER_GRID
+
+    def progress(done, total, result):
+        print(f"\r[{done}/{total}] cells complete", end="", flush=True)
+
+    sweep = run_paper_sweep(
+        vcpu_fleets=tuple(args.vcpus),
+        episodes=args.episodes,
+        seed=args.seed,
+        grid=grid,
+        workers=args.workers,
+        timing=args.timing,
+        progress=progress,
+    )
+    print()
+    print(sweep.render_table2())
+    print()
+    print(sweep.render_table3())
+    return 0
+
+
+def _cmd_ensemble(args) -> int:
+    from repro.workflows.ensembles import run_ensemble_campaign
+
+    results = run_ensemble_campaign(
+        args.instances,
+        n_activations=args.size,
+        vcpus=args.vcpus,
+        episodes=args.episodes,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(render_table(
+        ["member", "workflow", "seed", "simulated makespan [s]"],
+        [(r.member, r.workflow_name, r.seed, round(r.simulated_makespan, 2))
+         for r in results],
+        title=(f"Ensemble campaign: {args.instances} x {args.size} "
+               f"activations on {args.vcpus} vCPUs"),
+    ))
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.experiments.report import generate_report
 
-    report = generate_report(args.out, episodes=args.episodes, seed=args.seed)
+    report = generate_report(args.out, episodes=args.episodes, seed=args.seed,
+                             workers=args.workers)
     print(report.read_text())
     print(f"artifacts written to {args.out}/")
     return 0
@@ -236,6 +327,8 @@ _COMMANDS = {
     "learn": _cmd_learn,
     "pipeline": _cmd_pipeline,
     "table": _cmd_table,
+    "sweep": _cmd_sweep,
+    "ensemble": _cmd_ensemble,
     "reproduce": _cmd_reproduce,
 }
 

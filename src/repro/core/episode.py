@@ -74,6 +74,17 @@ class LearningResult:
         return len(self.episodes)
 
     @property
+    def simulated_learning_time(self) -> float:
+        """Total *simulated* seconds spent learning (sum of episode makespans).
+
+        A deterministic stand-in for the wall-clock ``learning_time``:
+        it depends only on seeds and parameters, never on machine load,
+        so parallel and serial campaigns agree on it bit-for-bit.  The
+        determinism test harness renders Table II from this metric.
+        """
+        return sum(e.makespan for e in self.episodes)
+
+    @property
     def best_episode(self) -> EpisodeRecord:
         """The episode with the smallest makespan (successful ones preferred)."""
         ok = [e for e in self.episodes if e.final_state == "successfully finished"]

@@ -6,20 +6,31 @@ fleets — 81 learning runs — and reports per combination the wall-clock
 *learning time* (Table II) and the *simulated execution time* of the
 learned plan (Table III).  :func:`sweep_parameters` reproduces one
 fleet's 27-run column; the benchmark harness stacks three fleets.
+
+Cells are independent learning runs, so the sweep fans out through
+:class:`repro.runner.ParallelRunner`: pass ``workers=N`` to use N
+processes.  Every cell's learner is seeded with the sweep's root seed
+(the paper's semantics — each combination is one run of Algorithm 2
+from the same initial conditions), so **results are bit-identical for
+any worker count**; only the wall-clock ``learning_time`` fields differ
+between runs.  Pass ``timing="simulated"`` to report the deterministic
+simulated learning time instead of the wall clock (what the determinism
+regression tests render Table II from).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.episode import LearningResult
 from repro.core.reassign import ReassignLearner, ReassignParams
 from repro.dag.graph import Workflow
+from repro.runner import ParallelRunner, Task
 from repro.sim.vm import Vm
 from repro.util.validate import ValidationError
 
-__all__ = ["SweepRecord", "sweep_parameters", "PAPER_GRID"]
+__all__ = ["SweepRecord", "sweep_parameters", "sweep_tasks", "PAPER_GRID"]
 
 #: the paper's parameter values for alpha, gamma and epsilon
 PAPER_GRID: Tuple[float, ...] = (0.1, 0.5, 1.0)
@@ -41,6 +52,93 @@ class SweepRecord:
         return (self.alpha, self.gamma, self.epsilon)
 
 
+def default_learner_factory(
+    workflow: Workflow,
+    vms: Sequence[Vm],
+    params: ReassignParams,
+    run_seed: int,
+) -> ReassignLearner:
+    """The standard cell learner (module-level, hence picklable)."""
+    return ReassignLearner(workflow, vms, params, seed=run_seed)
+
+
+def run_sweep_cell(payload, seed: int) -> SweepRecord:
+    """Execute one sweep cell — the :class:`~repro.runner.Task` function.
+
+    ``payload`` is ``(workflow, vms, params, factory, timing)``; the
+    runner supplies the seed.  Module-level so process-pool workers can
+    unpickle it.
+    """
+    workflow, vms, params, factory, timing = payload
+    factory = factory if factory is not None else default_learner_factory
+    learner = factory(workflow, vms, params, seed)
+    result = learner.learn()
+    learning_time = (
+        result.simulated_learning_time
+        if timing == "simulated"
+        else result.learning_time
+    )
+    return SweepRecord(
+        alpha=params.alpha,
+        gamma=params.gamma,
+        epsilon=params.epsilon,
+        learning_time=learning_time,
+        simulated_makespan=result.simulated_makespan,
+        result=result,
+    )
+
+
+def sweep_tasks(
+    workflow: Workflow,
+    vms: Sequence[Vm],
+    *,
+    alphas: Sequence[float],
+    gammas: Sequence[float],
+    epsilons: Sequence[float],
+    episodes: int,
+    mu: float = 0.5,
+    rho: float = 0.5,
+    seed: int = 0,
+    learner_factory: Optional[Callable] = None,
+    timing: str = "wall",
+    key_prefix: Tuple = (),
+) -> List[Task]:
+    """Build the cell tasks of one fleet's (α, γ, ε) grid.
+
+    Exposed so callers (e.g. :func:`repro.experiments.sweeps
+    .run_paper_sweep`) can combine several fleets' grids into a single
+    runner batch.  Task keys are ``key_prefix + (alpha, gamma,
+    epsilon)``; every cell carries the sweep's root seed explicitly
+    (same-seed-per-cell is the paper's semantics).
+    """
+    if not alphas or not gammas or not epsilons:
+        raise ValidationError("sweep needs non-empty parameter lists")
+    if timing not in ("wall", "simulated"):
+        raise ValidationError(f"timing must be wall/simulated, got {timing!r}")
+    tasks: List[Task] = []
+    vms = list(vms)
+    for alpha in alphas:
+        for gamma in gammas:
+            for epsilon in epsilons:
+                params = ReassignParams(
+                    alpha=alpha,
+                    gamma=gamma,
+                    epsilon=epsilon,
+                    mu=mu,
+                    rho=rho,
+                    episodes=episodes,
+                )
+                tasks.append(
+                    Task(
+                        key=key_prefix + (alpha, gamma, epsilon),
+                        fn=run_sweep_cell,
+                        payload=(workflow, vms, params, learner_factory, timing),
+                        seed=seed,
+                    )
+                )
+    return tasks
+
+
 def sweep_parameters(
     workflow: Workflow,
     vms: Sequence[Vm],
@@ -53,47 +151,43 @@ def sweep_parameters(
     rho: float = 0.5,
     seed: int = 0,
     learner_factory=None,
+    workers: Optional[int] = 1,
+    timing: str = "wall",
+    progress=None,
 ) -> List[SweepRecord]:
     """Run a learning run per (α, γ, ε) combination on one fleet.
 
     ``learner_factory(workflow, vms, params, seed)`` may be supplied to
     customize the environment models; it must return a
-    :class:`~repro.core.reassign.ReassignLearner`-compatible object with a
-    ``learn()`` method.
+    :class:`~repro.core.reassign.ReassignLearner`-compatible object with
+    a ``learn()`` method — and must be picklable (module-level) when
+    ``workers > 1``.
+
+    ``workers`` fans cells out over a process pool (1 = serial, 0 = all
+    cores, None = the ``REPRO_WORKERS`` environment variable).  Records
+    are always returned in grid order (α outermost, ε innermost) and are
+    identical for every worker count.
     """
-    if not alphas or not gammas or not epsilons:
-        raise ValidationError("sweep needs non-empty parameter lists")
-
-    def default_factory(wf, fleet, params, run_seed):
-        return ReassignLearner(wf, fleet, params, seed=run_seed)
-
-    factory = learner_factory if learner_factory is not None else default_factory
-
-    records: List[SweepRecord] = []
-    for alpha in alphas:
-        for gamma in gammas:
-            for epsilon in epsilons:
-                params = ReassignParams(
-                    alpha=alpha,
-                    gamma=gamma,
-                    epsilon=epsilon,
-                    mu=mu,
-                    rho=rho,
-                    episodes=episodes,
-                )
-                learner = factory(workflow, vms, params, seed)
-                result = learner.learn()
-                records.append(
-                    SweepRecord(
-                        alpha=alpha,
-                        gamma=gamma,
-                        epsilon=epsilon,
-                        learning_time=result.learning_time,
-                        simulated_makespan=result.simulated_makespan,
-                        result=result,
-                    )
-                )
-    return records
+    tasks = sweep_tasks(
+        workflow,
+        vms,
+        alphas=alphas,
+        gammas=gammas,
+        epsilons=epsilons,
+        episodes=episodes,
+        mu=mu,
+        rho=rho,
+        seed=seed,
+        learner_factory=learner_factory,
+        timing=timing,
+    )
+    runner = ParallelRunner(
+        workers=workers,
+        run_id=f"sweep:{workflow.name}",
+        seed=seed,
+        progress=progress,
+    )
+    return [r.value for r in runner.run(tasks)]
 
 
 def best_record(records: Sequence[SweepRecord]) -> SweepRecord:

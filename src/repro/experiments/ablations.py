@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.reassign import ReassignLearner, ReassignParams
 from repro.dag.graph import Workflow
 from repro.experiments.environments import fleet_for
+from repro.runner import ParallelRunner, Task
 from repro.schedulers.heft import HeftScheduler
 from repro.schedulers.base import PlanFollowingScheduler
 from repro.sim.simulator import WorkflowSimulator
@@ -72,6 +73,22 @@ class RewardAblationRow:
     mean_final_reward: float
 
 
+def _reward_cell(payload, seed: int) -> RewardAblationRow:
+    """One (µ, ρ) arm of ablation A1 (module-level for the runner)."""
+    wf, vcpus, mu, rho, episodes = payload
+    params = ReassignParams(
+        alpha=0.5, gamma=1.0, epsilon=0.1, mu=mu, rho=rho, episodes=episodes
+    )
+    result = ReassignLearner(wf, fleet_for(vcpus), params, seed=seed).learn()
+    final_rewards = [e.final_reward for e in result.episodes]
+    return RewardAblationRow(
+        mu=mu,
+        rho=rho,
+        simulated_makespan=result.simulated_makespan,
+        mean_final_reward=sum(final_rewards) / len(final_rewards),
+    )
+
+
 def run_reward_ablation(
     workflow: Optional[Workflow] = None,
     *,
@@ -80,28 +97,22 @@ def run_reward_ablation(
     vcpus: int = 16,
     episodes: int = 50,
     seed: int = 0,
+    workers: Optional[int] = 1,
 ) -> List[RewardAblationRow]:
-    """Sweep µ and ρ; returns one row per combination."""
+    """Sweep µ and ρ; returns one row per combination (grid order)."""
     wf = workflow if workflow is not None else montage(50, seed=seed)
-    fleet = fleet_for(vcpus)
-    rows: List[RewardAblationRow] = []
-    for mu in mus:
-        for rho in rhos:
-            params = ReassignParams(
-                alpha=0.5, gamma=1.0, epsilon=0.1, mu=mu, rho=rho,
-                episodes=episodes,
-            )
-            result = ReassignLearner(wf, fleet, params, seed=seed).learn()
-            final_rewards = [e.final_reward for e in result.episodes]
-            rows.append(
-                RewardAblationRow(
-                    mu=mu,
-                    rho=rho,
-                    simulated_makespan=result.simulated_makespan,
-                    mean_final_reward=sum(final_rewards) / len(final_rewards),
-                )
-            )
-    return rows
+    tasks = [
+        Task(
+            key=("reward", mu, rho),
+            fn=_reward_cell,
+            payload=(wf, vcpus, mu, rho, episodes),
+            seed=seed,
+        )
+        for mu in mus
+        for rho in rhos
+    ]
+    runner = ParallelRunner(workers=workers, run_id="ablation-a1", seed=seed)
+    return [r.value for r in runner.run(tasks)]
 
 
 def render_reward_ablation(rows: Sequence[RewardAblationRow]) -> str:
@@ -118,42 +129,75 @@ def render_reward_ablation(rows: Sequence[RewardAblationRow]) -> str:
 # -- A2: update rule -----------------------------------------------------------
 
 
+def _rule_cell(payload, seed: int) -> float:
+    """One (rule, seed) arm of ablation A2: its simulated makespan."""
+    workflow, vcpus, episodes, rule, epsilon = payload
+    wf = workflow if workflow is not None else montage(50, seed=seed)
+    params = ReassignParams(
+        alpha=0.5, gamma=1.0, epsilon=epsilon, episodes=episodes, rule=rule
+    )
+    result = ReassignLearner(wf, fleet_for(vcpus), params, seed=seed).learn()
+    return result.simulated_makespan
+
+
 def run_rule_ablation(
     workflow: Optional[Workflow] = None,
     *,
     vcpus: int = 16,
     episodes: int = 50,
     seeds: Sequence[int] = (0, 1, 2),
+    workers: Optional[int] = 1,
 ) -> Dict[str, float]:
     """Mean simulated makespan per update rule (plus the random policy).
 
     "random" is ReASSIgN with ε = 0 under the paper's convention: the
     best action is *never* taken, every choice is uniform — learning still
     happens but the extracted greedy plan reflects an untargeted Q.
+
+    Arms fan out as (rule × seed) tasks through the runner; each task
+    carries its explicit seed, so results match serial execution exactly.
     """
+    # "random" = qlearning with epsilon=0 (never exploit during learning)
+    arms = [
+        ("qlearning", 0.1), ("sarsa", 0.1), ("doubleq", 0.1),
+        ("random-exploration-only", 0.0),
+    ]
+    tasks = [
+        Task(
+            key=("rule", label, seed),
+            fn=_rule_cell,
+            payload=(
+                workflow, vcpus, episodes,
+                "qlearning" if label == "random-exploration-only" else label,
+                epsilon,
+            ),
+            seed=seed,
+        )
+        for label, epsilon in arms
+        for seed in seeds
+    ]
+    runner = ParallelRunner(workers=workers, run_id="ablation-a2", seed=0)
+    results = runner.run(tasks)
     out: Dict[str, float] = {}
-    for rule in ("qlearning", "sarsa", "doubleq"):
-        makespans = []
-        for seed in seeds:
-            wf = workflow if workflow is not None else montage(50, seed=seed)
-            params = ReassignParams(
-                alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes, rule=rule
-            )
-            result = ReassignLearner(wf, fleet_for(vcpus), params, seed=seed).learn()
-            makespans.append(result.simulated_makespan)
-        out[rule] = sum(makespans) / len(makespans)
-    # random policy baseline: epsilon=0 (never exploit during learning)
-    makespans = []
-    for seed in seeds:
-        wf = workflow if workflow is not None else montage(50, seed=seed)
-        params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.0, episodes=episodes)
-        result = ReassignLearner(wf, fleet_for(vcpus), params, seed=seed).learn()
-        makespans.append(result.simulated_makespan)
-    out["random-exploration-only"] = sum(makespans) / len(makespans)
+    for i, (label, _) in enumerate(arms):
+        chunk = results[i * len(seeds) : (i + 1) * len(seeds)]
+        out[label] = sum(r.value for r in chunk) / len(chunk)
     return out
 
 
 # -- A3: workloads --------------------------------------------------------------
+
+
+def _workload_cell(payload, seed: int) -> Tuple[str, float, float]:
+    """One workload arm of A3: (name, HEFT makespan, ReASSIgN makespan)."""
+    name, size, vcpus, episodes = payload
+    wf = make_workflow(name, size, seed=seed)
+    fleet = fleet_for(vcpus)
+    heft_plan = HeftScheduler().plan(wf, fleet)
+    heft_mk = _replay_makespan(wf, fleet, heft_plan)
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
+    result = ReassignLearner(wf, fleet, params, seed=seed).learn()
+    return (wf.name, heft_mk, result.simulated_makespan)
 
 
 def run_workload_ablation(
@@ -170,22 +214,25 @@ def run_workload_ablation(
         ("inspiral", 30),
         ("sipht", 30),
     ),
+    workers: Optional[int] = 1,
 ) -> List[Tuple[str, float, float]]:
     """(workload, HEFT makespan, ReASSIgN makespan) per workflow.
 
     Both plans are replayed in the same throttle-aware simulator so the
-    comparison is apples-to-apples.
+    comparison is apples-to-apples.  Workload arms run as one runner
+    batch; rows come back in the ``workloads`` order.
     """
-    rows: List[Tuple[str, float, float]] = []
-    for name, size in workloads:
-        wf = make_workflow(name, size, seed=seed)
-        fleet = fleet_for(vcpus)
-        heft_plan = HeftScheduler().plan(wf, fleet)
-        heft_mk = _replay_makespan(wf, fleet, heft_plan)
-        params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
-        result = ReassignLearner(wf, fleet, params, seed=seed).learn()
-        rows.append((wf.name, heft_mk, result.simulated_makespan))
-    return rows
+    tasks = [
+        Task(
+            key=("workload", name, size),
+            fn=_workload_cell,
+            payload=(name, size, vcpus, episodes),
+            seed=seed,
+        )
+        for name, size in workloads
+    ]
+    runner = ParallelRunner(workers=workers, run_id="ablation-a3", seed=seed)
+    return [r.value for r in runner.run(tasks)]
 
 
 # -- A4: episode budget -----------------------------------------------------------
@@ -415,6 +462,18 @@ def run_execution_mode_ablation(
 # -- A8: state-space granularity -------------------------------------------------
 
 
+def _state_cell(payload, seed: int) -> float:
+    """One (buckets, seed) arm of A8: its simulated makespan."""
+    workflow, vcpus, episodes, n_buckets = payload
+    wf = workflow if workflow is not None else montage(50, seed=seed)
+    params = ReassignParams(
+        alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes,
+        state_buckets=n_buckets,
+    )
+    result = ReassignLearner(wf, fleet_for(vcpus), params, seed=seed).learn()
+    return result.simulated_makespan
+
+
 def run_state_ablation(
     workflow: Optional[Workflow] = None,
     *,
@@ -422,6 +481,7 @@ def run_state_ablation(
     episodes: int = 50,
     buckets: Sequence[int] = (1, 2, 4, 8),
     seeds: Sequence[int] = (0, 1, 2),
+    workers: Optional[int] = 1,
 ) -> List[Tuple[int, float]]:
     """(state_buckets, mean simulated makespan) per granularity.
 
@@ -430,18 +490,22 @@ def run_state_ablation(
     Splitting it by workflow progress gives the value function something
     to condition on; the ablation measures whether that pays.
     """
+    tasks = [
+        Task(
+            key=("state", n_buckets, seed),
+            fn=_state_cell,
+            payload=(workflow, vcpus, episodes, n_buckets),
+            seed=seed,
+        )
+        for n_buckets in buckets
+        for seed in seeds
+    ]
+    runner = ParallelRunner(workers=workers, run_id="ablation-a8", seed=0)
+    results = runner.run(tasks)
     rows: List[Tuple[int, float]] = []
-    for n_buckets in buckets:
-        makespans = []
-        for seed in seeds:
-            wf = workflow if workflow is not None else montage(50, seed=seed)
-            params = ReassignParams(
-                alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes,
-                state_buckets=n_buckets,
-            )
-            result = ReassignLearner(wf, fleet_for(vcpus), params, seed=seed).learn()
-            makespans.append(result.simulated_makespan)
-        rows.append((n_buckets, sum(makespans) / len(makespans)))
+    for i, n_buckets in enumerate(buckets):
+        chunk = results[i * len(seeds) : (i + 1) * len(seeds)]
+        rows.append((n_buckets, sum(r.value for r in chunk) / len(chunk)))
     return rows
 
 

@@ -22,7 +22,9 @@ from repro.util.tables import render_table
 __all__ = ["generate_report"]
 
 
-def _artifacts(episodes: int, seed: int) -> List[Tuple[str, Callable[[], str]]]:
+def _artifacts(
+    episodes: int, seed: int, workers: int = 1
+) -> List[Tuple[str, Callable[[], str]]]:
     """(file name, producer) for every artifact, lazily constructed."""
 
     def table1() -> str:
@@ -33,7 +35,7 @@ def _artifacts(episodes: int, seed: int) -> List[Tuple[str, Callable[[], str]]]:
     def tables23() -> str:
         from repro.experiments.sweeps import run_paper_sweep
 
-        sweep = run_paper_sweep(episodes=episodes, seed=seed)
+        sweep = run_paper_sweep(episodes=episodes, seed=seed, workers=workers)
         return sweep.render_table2() + "\n\n" + sweep.render_table3()
 
     def table4() -> str:
@@ -63,15 +65,18 @@ def _artifacts(episodes: int, seed: int) -> List[Tuple[str, Callable[[], str]]]:
         from repro.experiments import ablations as ab
 
         parts = [ab.render_reward_ablation(
-            ab.run_reward_ablation(episodes=min(episodes, 50), seed=seed)
+            ab.run_reward_ablation(episodes=min(episodes, 50), seed=seed,
+                                   workers=workers)
         )]
-        rules = ab.run_rule_ablation(episodes=min(episodes, 50), seeds=(seed,))
+        rules = ab.run_rule_ablation(episodes=min(episodes, 50), seeds=(seed,),
+                                     workers=workers)
         parts.append(render_table(
             ["update rule", "simulated makespan [s]"],
             [(k, round(v, 2)) for k, v in sorted(rules.items())],
             title="Ablation A2: TD update rule",
         ))
-        workloads = ab.run_workload_ablation(episodes=min(episodes, 50), seed=seed)
+        workloads = ab.run_workload_ablation(episodes=min(episodes, 50),
+                                             seed=seed, workers=workers)
         parts.append(render_table(
             ["workflow", "HEFT [s]", "ReASSIgN [s]"],
             [(n, round(h, 1), round(r, 1)) for n, h, r in workloads],
@@ -106,9 +111,12 @@ def generate_report(
     out_dir: Union[str, pathlib.Path],
     episodes: int = 0,
     seed: int = 1,
+    workers: int = 1,
 ) -> pathlib.Path:
     """Run everything and write artifacts + REPORT.md into ``out_dir``.
 
+    ``workers`` fans independent runs (sweep cells, ablation arms) out
+    over processes; results are identical for any worker count.
     Returns the path of the generated REPORT.md.
     """
     out = pathlib.Path(out_dir)
@@ -120,9 +128,10 @@ def generate_report(
         "",
         f"- learning episodes per run: {episodes} (paper: 100)",
         f"- seed: {seed}",
+        f"- workers: {workers}",
         "",
     ]
-    for name, producer in _artifacts(episodes, seed):
+    for name, producer in _artifacts(episodes, seed, workers):
         started = time.perf_counter()
         text = producer()
         elapsed = time.perf_counter() - started

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.reassign import ReassignLearner, ReassignParams
 from repro.dag.graph import Workflow
 from repro.experiments.environments import fleet_for, fleet_spec_for
+from repro.runner import ParallelRunner, Task
 from repro.schedulers.heft import HeftScheduler
 from repro.scicumulus.swfms import SciCumulusRL
 from repro.util.tables import render_table
@@ -53,43 +54,64 @@ def _mean_std(values: Sequence[float]) -> tuple:
     return mean, math.sqrt(var)
 
 
+def _sensitivity_cell(payload, seed: int) -> Tuple[float, float]:
+    """One (fleet, seed) comparison: (HEFT time, ReASSIgN time).
+
+    Reproduces the serial loop body exactly, including the
+    ``seed * 1000 + vcpus`` SWfMS seed, so that parallel campaigns
+    return the same numbers as serial ones.
+    """
+    workflow, vcpus, episodes = payload
+    wf = workflow if workflow is not None else montage(50, seed=seed)
+    fleet = fleet_for(vcpus)
+    spec = fleet_spec_for(vcpus)
+    swfms = SciCumulusRL(seed=seed * 1000 + vcpus)
+
+    heft_plan = HeftScheduler().plan(wf, fleet)
+    heft_time = swfms.execute_plan(
+        wf, spec, heft_plan, "HEFT"
+    ).total_execution_time
+
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
+    rl_plan = ReassignLearner(wf, fleet, params, seed=seed).learn().plan
+    rl_time = swfms.execute_plan(
+        wf, spec, rl_plan, "ReASSIgN"
+    ).total_execution_time
+    return (heft_time, rl_time)
+
+
 def run_seed_sensitivity(
     workflow: Optional[Workflow] = None,
     *,
     vcpu_fleets: Sequence[int] = (16, 32, 64),
     seeds: Sequence[int] = (1, 2, 3),
     episodes: int = 100,
+    workers: Optional[int] = 1,
 ) -> List[SensitivityRow]:
-    """Repeat the Table-IV comparison per fleet across seeds."""
+    """Repeat the Table-IV comparison per fleet across seeds.
+
+    The fleet × seed product fans out as one runner batch; aggregation
+    happens in the parent, so rows are independent of worker count.
+    """
+    tasks = [
+        Task(
+            key=("sensitivity", vcpus, seed),
+            fn=_sensitivity_cell,
+            payload=(workflow, vcpus, episodes),
+            seed=seed,
+        )
+        for vcpus in vcpu_fleets
+        for seed in seeds
+    ]
+    runner = ParallelRunner(workers=workers, run_id="seed-sensitivity", seed=0)
+    results = runner.run(tasks)
+
     rows: List[SensitivityRow] = []
-    for vcpus in vcpu_fleets:
-        heft_times: List[float] = []
-        rl_times: List[float] = []
-        wins = 0
-        for seed in seeds:
-            wf = workflow if workflow is not None else montage(50, seed=seed)
-            fleet = fleet_for(vcpus)
-            spec = fleet_spec_for(vcpus)
-            swfms = SciCumulusRL(seed=seed * 1000 + vcpus)
-
-            heft_plan = HeftScheduler().plan(wf, fleet)
-            heft_time = swfms.execute_plan(
-                wf, spec, heft_plan, "HEFT"
-            ).total_execution_time
-
-            params = ReassignParams(
-                alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes
-            )
-            rl_plan = ReassignLearner(wf, fleet, params, seed=seed).learn().plan
-            rl_time = swfms.execute_plan(
-                wf, spec, rl_plan, "ReASSIgN"
-            ).total_execution_time
-
-            heft_times.append(heft_time)
-            rl_times.append(rl_time)
-            if rl_time < heft_time:
-                wins += 1
-
+    for i, vcpus in enumerate(vcpu_fleets):
+        chunk = [r.value for r in results[i * len(seeds) : (i + 1) * len(seeds)]]
+        heft_times = [h for h, _ in chunk]
+        rl_times = [r for _, r in chunk]
+        wins = sum(1 for h, r in chunk if r < h)
         heft_mean, heft_std = _mean_std(heft_times)
         rl_mean, rl_std = _mean_std(rl_times)
         rows.append(

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.sweep import PAPER_GRID, SweepRecord, sweep_parameters
+from repro.core.sweep import PAPER_GRID, SweepRecord, sweep_tasks
 from repro.dag.graph import Workflow
 from repro.experiments.environments import TABLE1_FLEETS, fleet_for
+from repro.runner import ParallelRunner
 from repro.util.tables import render_table
 from repro.util.validate import ValidationError
 from repro.workflows.montage import montage
@@ -94,25 +95,50 @@ def run_paper_sweep(
     episodes: int = 100,
     seed: int = 0,
     grid: Sequence[float] = PAPER_GRID,
+    workers: Optional[int] = 1,
+    timing: str = "wall",
+    progress=None,
 ) -> PaperSweep:
     """Execute the Tables II/III sweep.
 
     Defaults reproduce the paper exactly (Montage-50, the three Table-I
     fleets, 27 combinations, 100 episodes, µ = 0.5).
+
+    The full fleet × grid product (81 cells at paper scale) is submitted
+    as **one** :class:`~repro.runner.ParallelRunner` batch so ``workers``
+    parallelism spans fleets, not just one fleet's column.  Every cell
+    runs Algorithm 2 from the sweep's root seed, so the resulting
+    records — and the rendered Tables II/III, when ``timing`` is
+    ``"simulated"`` — are bit-identical for any worker count.
     """
     wf = workflow if workflow is not None else montage(50, seed=seed)
     sweep = PaperSweep(workflow_name=wf.name, episodes=episodes, grid=tuple(grid))
+    tasks = []
     for vcpus in vcpu_fleets:
         if vcpus not in TABLE1_FLEETS:
             raise ValidationError(f"unknown Table-I fleet: {vcpus} vCPUs")
-        fleet = fleet_for(vcpus)
-        sweep.records[vcpus] = sweep_parameters(
-            wf,
-            fleet,
-            alphas=grid,
-            gammas=grid,
-            epsilons=grid,
-            episodes=episodes,
-            seed=seed,
+        tasks.extend(
+            sweep_tasks(
+                wf,
+                fleet_for(vcpus),
+                alphas=grid,
+                gammas=grid,
+                epsilons=grid,
+                episodes=episodes,
+                seed=seed,
+                timing=timing,
+                key_prefix=(vcpus,),
+            )
         )
+    runner = ParallelRunner(
+        workers=workers,
+        run_id=f"paper-sweep:{wf.name}",
+        seed=seed,
+        progress=progress,
+    )
+    results = runner.run(tasks)
+    cells_per_fleet = len(tuple(grid)) ** 3
+    for i, vcpus in enumerate(vcpu_fleets):
+        chunk = results[i * cells_per_fleet : (i + 1) * cells_per_fleet]
+        sweep.records[vcpus] = [r.value for r in chunk]
     return sweep

@@ -14,14 +14,22 @@ and µ's execution-vs-queue balance starts to matter.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.dag.activation import Activation, File
 from repro.dag.graph import Workflow
+from repro.runner import ParallelRunner, Task
 from repro.util.validate import ValidationError
 from repro.workflows.montage import montage
 
-__all__ = ["merge_workflows", "montage_ensemble", "split_assignment"]
+__all__ = [
+    "merge_workflows",
+    "montage_ensemble",
+    "split_assignment",
+    "EnsembleMemberResult",
+    "run_ensemble_campaign",
+]
 
 
 def merge_workflows(
@@ -81,6 +89,73 @@ def montage_ensemble(
     return merge_workflows(
         instances, name=f"montage-ensemble-{n_instances}x{n_activations}"
     )
+
+
+@dataclass(frozen=True)
+class EnsembleMemberResult:
+    """One ensemble member's learning outcome."""
+
+    member: int  #: index within the campaign
+    workflow_name: str
+    seed: int  #: the derived per-member seed the run used
+    simulated_makespan: float
+    plan_json: str  #: the learned plan, serialized
+
+
+def _learn_member(payload, seed: int) -> EnsembleMemberResult:
+    """Learn one ensemble member's plan (module-level for the runner)."""
+    from repro.core.reassign import ReassignLearner, ReassignParams
+    from repro.experiments.environments import fleet_for
+
+    member, n_activations, vcpus, episodes = payload
+    wf = montage(n_activations, seed=seed)
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
+    result = ReassignLearner(wf, fleet_for(vcpus), params, seed=seed).learn()
+    return EnsembleMemberResult(
+        member=member,
+        workflow_name=wf.name,
+        seed=seed,
+        simulated_makespan=result.simulated_makespan,
+        plan_json=result.plan.to_json(),
+    )
+
+
+def run_ensemble_campaign(
+    n_instances: int,
+    *,
+    n_activations: int = 25,
+    vcpus: int = 16,
+    episodes: int = 50,
+    seed: int = 0,
+    workers: Optional[int] = 1,
+    progress=None,
+) -> List[EnsembleMemberResult]:
+    """Learn an independent ReASSIgN plan for each ensemble member.
+
+    A parameter-study campaign: ``n_instances`` Montage instances with
+    independent runtimes each get their own learning run on the shared
+    fleet configuration.  Per-member seeds are *derived* — stable
+    ``(root seed, campaign id, member index)`` hashes via the runner —
+    so the campaign is reproducible and bit-identical for any worker
+    count, and members never share a random stream.
+    """
+    if n_instances < 1:
+        raise ValidationError("n_instances must be >= 1")
+    runner = ParallelRunner(
+        workers=workers,
+        run_id=f"ensemble:{n_instances}x{n_activations}:{vcpus}",
+        seed=seed,
+        progress=progress,
+    )
+    tasks = [
+        Task(
+            key=("member", k),
+            fn=_learn_member,
+            payload=(k, n_activations, vcpus, episodes),
+        )
+        for k in range(n_instances)
+    ]
+    return [r.value for r in runner.run(tasks)]
 
 
 def split_assignment(

@@ -1,0 +1,111 @@
+"""Determinism regression tests — parallel must equal serial, bitwise.
+
+The runner's core guarantee: per-task seeds depend only on task
+identity, never on worker count or completion order, so a sweep (or
+ablation, or ensemble campaign) fans out over N processes and still
+produces byte-identical records.  ``timing="simulated"`` replaces the
+one irreducibly non-deterministic column (wall-clock learning time)
+with the sum of episode makespans, making even the rendered Table II
+reproducible.
+
+These runs are deliberately tiny (Montage-25, a 2x2x2 grid, a couple of
+episodes) so the suite stays tier-1 fast.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_rule_ablation
+from repro.experiments.sweeps import run_paper_sweep
+from repro.workflows.ensembles import run_ensemble_campaign
+from repro.workflows.montage import montage
+
+REDUCED_GRID = (0.1, 1.0)  # 8 cells instead of the paper's 81
+
+
+def reduced_sweep(workers):
+    return run_paper_sweep(
+        workflow=montage(25, seed=1),
+        vcpu_fleets=(16,),
+        grid=REDUCED_GRID,
+        episodes=3,
+        seed=1,
+        workers=workers,
+        timing="simulated",
+    )
+
+
+def record_fingerprint(rec):
+    """Everything a SweepRecord determines, including the learned plan."""
+    return (
+        rec.alpha,
+        rec.gamma,
+        rec.epsilon,
+        rec.learning_time,
+        rec.simulated_makespan,
+        rec.result.plan.to_json(),
+    )
+
+
+class TestSweepDeterminism:
+    def test_workers4_bitwise_equal_serial(self):
+        serial = reduced_sweep(workers=1)
+        pooled = reduced_sweep(workers=4)
+        for vcpus in serial.records:
+            fps_serial = [record_fingerprint(r) for r in serial.records[vcpus]]
+            fps_pooled = [record_fingerprint(r) for r in pooled.records[vcpus]]
+            assert fps_serial == fps_pooled
+
+    def test_rendered_tables_identical(self):
+        serial = reduced_sweep(workers=1)
+        pooled = reduced_sweep(workers=4)
+        assert serial.render_table2() == pooled.render_table2()
+        assert serial.render_table3() == pooled.render_table3()
+
+    def test_same_seed_serial_runs_identical(self):
+        # The seed-plumbing guarantee: with every random stream routed
+        # through repro.util.rng, two same-seed runs in the same process
+        # cannot drift (no hidden global RNG, no hash randomization).
+        first = reduced_sweep(workers=1)
+        second = reduced_sweep(workers=1)
+        for vcpus in first.records:
+            assert [record_fingerprint(r) for r in first.records[vcpus]] == [
+                record_fingerprint(r) for r in second.records[vcpus]
+            ]
+
+    def test_different_seeds_differ(self):
+        # Sanity check that the comparisons above are not vacuous.
+        a = run_paper_sweep(
+            workflow=montage(25, seed=1), vcpu_fleets=(16,),
+            grid=REDUCED_GRID, episodes=3, seed=1, timing="simulated",
+        )
+        b = run_paper_sweep(
+            workflow=montage(25, seed=1), vcpu_fleets=(16,),
+            grid=REDUCED_GRID, episodes=3, seed=2, timing="simulated",
+        )
+        fps_a = [record_fingerprint(r) for r in a.records[16]]
+        fps_b = [record_fingerprint(r) for r in b.records[16]]
+        assert fps_a != fps_b
+
+
+class TestAblationDeterminism:
+    def test_rule_ablation_workers_invariant(self):
+        wf = montage(25, seed=3)
+        kwargs = dict(workflow=wf, vcpus=16, episodes=2, seeds=(0, 1))
+        serial = run_rule_ablation(workers=1, **kwargs)
+        pooled = run_rule_ablation(workers=3, **kwargs)
+        assert serial == pooled
+
+
+class TestEnsembleDeterminism:
+    def test_campaign_workers_invariant(self):
+        kwargs = dict(n_activations=25, vcpus=16, episodes=2, seed=7)
+        serial = run_ensemble_campaign(3, workers=1, **kwargs)
+        pooled = run_ensemble_campaign(3, workers=2, **kwargs)
+        assert serial == pooled  # frozen dataclasses compare field-wise
+
+    def test_members_use_distinct_derived_seeds(self):
+        members = run_ensemble_campaign(
+            3, n_activations=25, vcpus=16, episodes=2, seed=7, workers=1
+        )
+        seeds = [m.seed for m in members]
+        assert len(set(seeds)) == 3

@@ -1,0 +1,68 @@
+"""Golden-plan regression tests.
+
+The fixtures under ``tests/golden/`` freeze two reference outputs:
+
+- the deterministic HEFT plan for Montage-50 on the 16-vCPU fleet, and
+- the plan a seeded ReASSIgN learner (α=0.5, γ=1.0, ε=0.1, 5 episodes,
+  seed 1) converges to on the same instance, with its simulated
+  makespan and simulated learning time.
+
+Any drift in the scheduler, the simulator, the Q-learning update or the
+seed plumbing shows up here as an exact-equality failure.  If a change
+*intentionally* alters plans, regenerate the fixtures (see
+``docs/runner.md``) and explain the change in the commit message.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.reassign import ReassignLearner, ReassignParams
+from repro.experiments.environments import fleet_for
+from repro.schedulers.heft import HeftScheduler
+from repro.workflows.montage import montage
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def load(name):
+    return (GOLDEN / name).read_text(encoding="utf-8")
+
+
+class TestGoldenHeft:
+    def test_montage50_heft_plan_exact(self):
+        wf = montage(50, seed=1)
+        plan = HeftScheduler().plan(wf, fleet_for(16))
+        assert plan.to_json() + "\n" == load("montage50_heft_plan.json")
+
+    def test_heft_is_input_deterministic(self):
+        # HEFT has no random stream at all: two fresh constructions agree.
+        a = HeftScheduler().plan(montage(50, seed=1), fleet_for(16))
+        b = HeftScheduler().plan(montage(50, seed=1), fleet_for(16))
+        assert a.to_json() == b.to_json()
+
+
+class TestGoldenReassign:
+    @pytest.fixture(scope="class")
+    def learned(self):
+        wf = montage(50, seed=1)
+        params = ReassignParams(
+            alpha=0.5, gamma=1.0, epsilon=0.1, episodes=5
+        )
+        return ReassignLearner(wf, fleet_for(16), params, seed=1).learn()
+
+    def test_plan_exact(self, learned):
+        assert learned.plan.to_json() + "\n" == load(
+            "montage50_reassign_plan.json"
+        )
+
+    def test_scalars_exact(self, learned):
+        meta = json.loads(load("montage50_reassign_meta.json"))
+        # Exact float equality is intentional: same seed, same machine
+        # arithmetic, same numbers — that is the determinism contract.
+        assert learned.simulated_makespan == meta["simulated_makespan"]
+        assert (
+            learned.simulated_learning_time
+            == meta["simulated_learning_time"]
+        )

@@ -1,0 +1,125 @@
+"""Property-based tests: metric aggregates and the parallel runner.
+
+Complements ``tests/test_sim_properties.py`` (which already covers
+precedence, capacity and makespan lower bounds on random DAGs) with
+invariants over the *measurements* a run produces — totals must be
+non-negative and per-VM aggregates must add up — and with the runner's
+core contracts: submission-order results, seed stability, and
+serial == parallel on arbitrary batches.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runner import ParallelRunner, Task, task_seed
+from repro.schedulers import GreedyOnlineScheduler, RandomScheduler
+from repro.sim import WorkflowSimulator, ZeroCostNetwork
+
+from tests.test_sim_properties import random_dag, random_fleet
+
+
+def simulate(wf, fleet, seed):
+    return WorkflowSimulator(
+        wf, fleet, RandomScheduler(seed=seed),
+        network=ZeroCostNetwork(), seed=seed,
+    ).run()
+
+
+class TestMetricsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet(),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_totals_non_negative(self, wf, fleet, seed):
+        result = simulate(wf, fleet, seed)
+        assert result.makespan >= 0.0
+        assert result.mean_execution_time >= 0.0
+        assert result.mean_queue_time >= 0.0
+        assert result.usage_cost() >= 0.0
+        assert result.cost() >= 0.0
+        assert result.cost(per_second_billing=True) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet(),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_vm_usage_is_additive(self, wf, fleet, seed):
+        """Per-VM aggregates must partition the per-activation records."""
+        result = simulate(wf, fleet, seed)
+        usage = result.vm_usage()
+        assert sum(u.n_activations for u in usage) == len(result.records)
+        assert sum(u.busy_time for u in usage) == pytest.approx(
+            sum(r.execution_time for r in result.records)
+        )
+        for u in usage:
+            assert u.busy_time >= 0.0
+            assert u.first_start <= u.last_finish + 1e-9
+            # a VM's busy window is contained in the run
+            assert u.last_finish <= result.makespan + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet(),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_mean_execution_time_matches_records(self, wf, fleet, seed):
+        result = simulate(wf, fleet, seed)
+        expected = sum(r.execution_time for r in result.records) / len(
+            result.records
+        )
+        assert result.mean_execution_time == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(wf=random_dag(), fleet=random_fleet(),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_greedy_scheduler_same_invariants(self, wf, fleet, seed):
+        result = WorkflowSimulator(
+            wf, fleet, GreedyOnlineScheduler(),
+            network=ZeroCostNetwork(), seed=seed,
+        ).run()
+        usage = result.vm_usage()
+        assert sum(u.n_activations for u in usage) == len(result.records)
+        assert result.usage_cost() >= 0.0
+
+
+def add_pair(payload, seed):
+    """Module-level (picklable) task fn mixing payload and seed."""
+    return (payload * 3 + 1, seed % 1000)
+
+
+class TestRunnerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(payloads=st.lists(st.integers(-1000, 1000), max_size=30),
+           root=st.integers(min_value=0, max_value=2**31))
+    def test_serial_results_follow_submission_order(self, payloads, root):
+        tasks = [
+            Task(key=("p", i), fn=add_pair, payload=p)
+            for i, p in enumerate(payloads)
+        ]
+        results = ParallelRunner(workers=1, run_id="prop", seed=root).run(tasks)
+        assert [r.index for r in results] == list(range(len(payloads)))
+        assert [r.key for r in results] == [t.key for t in tasks]
+        assert all(r.ok for r in results)
+
+    @settings(max_examples=50, deadline=None)
+    @given(payloads=st.lists(st.integers(-1000, 1000), max_size=30),
+           root=st.integers(min_value=0, max_value=2**31))
+    def test_derived_seeds_stable_and_distinct(self, payloads, root):
+        runner_a = ParallelRunner(workers=1, run_id="prop", seed=root)
+        runner_b = ParallelRunner(workers=1, run_id="prop", seed=root)
+        seeds = [runner_a.seed_for(("p", i)) for i in range(len(payloads))]
+        assert seeds == [runner_b.seed_for(("p", i)) for i in range(len(payloads))]
+        assert len(set(seeds)) == len(seeds)
+        for i, s in enumerate(seeds):
+            assert s == task_seed(root, "prop", ("p", i))
+            assert 0 <= s < 2**63
+
+    def test_parallel_equals_serial_on_random_batch(self):
+        # One deliberately large mixed batch through a real pool; kept
+        # outside @given so we spin up processes once, not per example.
+        payloads = [((-1) ** i) * (i * 37 % 101) for i in range(40)]
+        tasks = [
+            Task(key=("p", i), fn=add_pair, payload=p)
+            for i, p in enumerate(payloads)
+        ]
+        serial = ParallelRunner(workers=1, run_id="prop", seed=9).run(tasks)
+        pooled = ParallelRunner(workers=4, run_id="prop", seed=9, chunk_size=3).run(tasks)
+        assert [(r.key, r.value, r.seed) for r in serial] == [
+            (r.key, r.value, r.seed) for r in pooled
+        ]

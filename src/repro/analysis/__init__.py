@@ -1,0 +1,36 @@
+"""reprolint — AST-based determinism & simulation-invariant analysis.
+
+The repo's reproducibility guarantees (bit-identical parallel sweeps,
+same-seed provenance; see ``docs/runner.md``) are enforced dynamically by
+the determinism regression tests and *statically* by this package: six
+repo-specific rules (RL001–RL006) catch global RNG state, wall-clock
+reads, unordered-set iteration, unpicklable parallel tasks, backwards
+simulated time and unsorted directory listings at lint time.
+
+Run it as ``reprolint`` (console script) or ``python -m repro.analysis``;
+rule catalogue and rationale live in ``docs/analysis.md``.
+"""
+
+from repro.analysis.engine import (
+    analyze_paths,
+    analyze_source,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.report import render
+from repro.analysis.rules import ALL_RULES, FileContext, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "load_baseline",
+    "render",
+    "write_baseline",
+]

@@ -1,0 +1,141 @@
+"""The ``reprolint`` command line (also ``python -m repro.analysis``).
+
+Exit codes: 0 = clean, 1 = findings reported, 2 = usage/IO error —
+matching the convention of ruff/mypy so CI treats all three gates alike.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import (
+    DEFAULT_EXCLUDED_DIRS,
+    BaselineError,
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.report import FORMATS, render
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based determinism & simulation-invariant analyzer for the "
+            "ReASSIgN reproduction (rules RL001-RL006; see docs/analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON baseline; findings listed in it are not reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write current findings to FILE as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="DIRNAME",
+        action="append",
+        default=[],
+        help=(
+            "additional directory name to skip (repeatable; "
+            f"always skipped: {', '.join(DEFAULT_EXCLUDED_DIRS)})"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    if spec is None:
+        return list(ALL_RULES)
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    known = {rule.code for rule in ALL_RULES}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in ALL_RULES if rule.code in wanted]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    try:
+        rules = _select_rules(args.select)
+    except ValueError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    excluded = tuple(DEFAULT_EXCLUDED_DIRS) + tuple(args.exclude)
+    try:
+        findings, files_scanned = analyze_paths(
+            args.paths, rules=rules, excluded_dirs=excluded
+        )
+    except FileNotFoundError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"reprolint: wrote {len(findings)} finding(s) to baseline "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+        except BaselineError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
+
+    print(render(findings, files_scanned, args.format))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""The reprolint engine: file discovery, suppression, baseline filtering.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
+only) so the lint gate runs anywhere the repo's tests run.  It walks the
+given paths in **sorted** order — the analyzer obeys its own RL006 rule —
+parses each ``*.py`` once, and hands the tree to every applicable rule.
+
+Suppression
+-----------
+A finding is suppressed by a comment on its own line::
+
+    frobnicate(random.random())  # reprolint: disable=RL001
+    legacy_call()                # reprolint: disable=all
+    two_problems()               # reprolint: disable=RL001,RL003
+
+Baseline
+--------
+:func:`load_baseline` / :func:`write_baseline` read and write a JSON
+baseline (``{"version": 1, "findings": [{"rule", "path", "line"}, ...]}``).
+Findings whose ``(rule, path, line)`` key appears in the baseline are
+dropped, letting a new rule land without blocking CI while the tree is
+swept clean.  The committed ``reprolint-baseline.json`` is empty — the
+tree *is* clean — and exists to keep that workflow one flag away.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import SYNTAX_ERROR_RULE, Finding
+from repro.analysis.rules import ALL_RULES, FileContext, Rule
+
+__all__ = [
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+    "suppressed_lines",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "DEFAULT_EXCLUDED_DIRS",
+    "BaselineError",
+]
+
+#: Directory names skipped during discovery.  ``fixtures`` holds the
+#: analyzer's own deliberately-violating test snippets.
+DEFAULT_EXCLUDED_DIRS: Tuple[str, ...] = (
+    "__pycache__",
+    ".git",
+    ".venv",
+    "fixtures",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)"
+)
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+def suppressed_lines(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule codes (``{"all"}`` = any)."""
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            out.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenizeError:
+        pass  # the parse step will report the syntax error
+    return out
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Finding]:
+    """Run every applicable rule over one file's source text.
+
+    ``path`` is used both for reporting and for rule scoping, so virtual
+    paths (as the fixture tests use) steer which rules run.
+    """
+    posix = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=SYNTAX_ERROR_RULE,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(posix, tree, source)
+    suppressed = suppressed_lines(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(posix):
+            continue
+        for finding in rule.check(ctx):
+            codes = suppressed.get(finding.line, set())
+            if "all" in codes or finding.rule in codes:
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(
+    paths: Sequence[str],
+    excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    excluded = set(excluded_dirs)
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root]
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            if any(part in excluded for part in candidate.parts):
+                continue
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+    return sorted(out)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule] = ALL_RULES,
+    excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+) -> Tuple[List[Finding], int]:
+    """Analyze every python file under ``paths``.
+
+    Returns ``(findings, files_scanned)`` with findings sorted by
+    location for stable output.
+    """
+    findings: List[Finding] = []
+    files = iter_python_files(paths, excluded_dirs)
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, file.as_posix(), rules))
+    return sorted(findings), len(files)
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def load_baseline(path: str) -> Set[Tuple[str, str, int]]:
+    """Read a baseline file into a set of ``(rule, path, line)`` keys."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(
+            f"baseline {path!r} must be an object with a 'findings' list"
+        )
+    keys: Set[Tuple[str, str, int]] = set()
+    for entry in payload["findings"]:
+        try:
+            keys.add((str(entry["rule"]), str(entry["path"]), int(entry["line"])))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"baseline {path!r} has a malformed entry: {entry!r}"
+            ) from exc
+    return keys
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write the current findings as a baseline file (sorted, stable)."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line}
+            for f in sorted(findings)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Set[Tuple[str, str, int]]
+) -> List[Finding]:
+    """Drop findings whose key is present in the baseline."""
+    return [f for f in findings if f.key() not in baseline]

@@ -1,0 +1,49 @@
+"""Finding model shared by the reprolint engine, rules and reporters.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.key` identity — ``(rule, path, line)`` — is what baseline
+files (:mod:`repro.analysis.baseline`) match on, so re-running the
+analyzer on an unchanged tree always reproduces the same keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Finding", "SYNTAX_ERROR_RULE"]
+
+#: Pseudo-rule code reported when a file cannot be parsed at all.
+SYNTAX_ERROR_RULE = "RL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    path:
+        POSIX-style path of the offending file, as given on the command
+        line (relative paths stay relative, so findings are stable
+        across machines).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule code (``RL001`` … ``RL006``, or :data:`SYNTAX_ERROR_RULE`).
+    message:
+        Human-readable explanation with the repo-specific remedy.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def key(self) -> Tuple[str, str, int]:
+        """Baseline identity: ``(rule, path, line)``."""
+        return (self.rule, self.path, self.line)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

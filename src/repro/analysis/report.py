@@ -1,0 +1,66 @@
+"""Reprolint output formats: human text, machine JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["render", "FORMATS"]
+
+FORMATS = ("text", "json", "github")
+
+
+def _render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+    lines = [str(f) for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"reprolint: {len(findings)} {noun} in {files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+    return json.dumps(
+        {
+            "files_scanned": files_scanned,
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def _render_github(findings: Sequence[Finding], files_scanned: int) -> str:
+    # https://docs.github.com/actions/reference/workflow-commands
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col + 1},"
+        f"title=reprolint {f.rule}::{f.message}"
+        for f in findings
+    ]
+    lines.append(
+        f"::notice title=reprolint::{len(findings)} finding(s) in "
+        f"{files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render(findings: Sequence[Finding], files_scanned: int, fmt: str) -> str:
+    """Render findings in ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "text":
+        return _render_text(findings, files_scanned)
+    if fmt == "json":
+        return _render_json(findings, files_scanned)
+    if fmt == "github":
+        return _render_github(findings, files_scanned)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")

@@ -14,16 +14,15 @@ from __future__ import annotations
 
 import json
 import sqlite3
-import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.core.episode import LearningResult
 from repro.sim.metrics import SimulationResult
 from repro.util.validate import ValidationError
 
-__all__ = ["ProvenanceStore", "ExecutionRow"]
+__all__ = ["ProvenanceStore", "ExecutionRow", "LogicalClock"]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS executions (
@@ -75,6 +74,25 @@ class ExecutionRow:
     cost: float
 
 
+class LogicalClock:
+    """Deterministic fallback clock: 0.0, 1.0, 2.0, … per instance.
+
+    ``created_at`` only needs to order records within one store, so the
+    default clock is a logical counter rather than the wall clock — two
+    same-seed runs then produce byte-identical provenance databases
+    (rule RL002; see ``docs/analysis.md``).
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self._next = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        value = self._next
+        self._next += self._step
+        return value
+
+
 class ProvenanceStore:
     """SQLite-backed provenance store.
 
@@ -82,15 +100,32 @@ class ProvenanceStore:
     ----------
     path:
         Database file, or ``":memory:"`` (default) for an ephemeral store.
+    clock:
+        Zero-argument callable supplying ``created_at`` stamps.  Defaults
+        to a :class:`LogicalClock` so records are deterministic; callers
+        that *execute* workflows pass simulated completion times instead
+        (see :class:`repro.scicumulus.swfms.SciCumulusRL`).  Injecting a
+        wall clock is possible but forfeits byte-identical replays.
     """
 
-    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self._conn = sqlite3.connect(str(path))
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else LogicalClock()
+        )
 
     def close(self) -> None:
         self._conn.close()
+
+    def dump(self) -> str:
+        """Full SQL dump of the store (the byte-identity test surface)."""
+        return "\n".join(self._conn.iterdump())
 
     def __enter__(self) -> "ProvenanceStore":
         return self
@@ -106,8 +141,14 @@ class ProvenanceStore:
         scheduler: str,
         fleet: str,
         cost: float = 0.0,
+        timestamp: Optional[float] = None,
     ) -> int:
-        """Store one execution + its activation records; returns its id."""
+        """Store one execution + its activation records; returns its id.
+
+        ``timestamp`` overrides the injected clock — SWfMS callers pass
+        the simulated completion time, keeping ``created_at`` meaningful
+        *and* deterministic.
+        """
         cur = self._conn.execute(
             "INSERT INTO executions (workflow, scheduler, fleet, makespan,"
             " final_state, cost, created_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
@@ -118,7 +159,7 @@ class ProvenanceStore:
                 result.makespan,
                 result.final_state,
                 cost,
-                time.time(),
+                timestamp if timestamp is not None else self._clock(),
             ),
         )
         execution_id = int(cur.lastrowid)
@@ -148,6 +189,7 @@ class ProvenanceStore:
         fleet: str,
         params_label: str,
         result: LearningResult,
+        timestamp: Optional[float] = None,
     ) -> int:
         """Store a full learning run (episodes + Q-table); returns its id."""
         cur = self._conn.execute(
@@ -162,7 +204,7 @@ class ProvenanceStore:
                 result.learning_time,
                 result.simulated_makespan,
                 result.to_json(),
-                time.time(),
+                timestamp if timestamp is not None else self._clock(),
             ),
         )
         self._conn.commit()

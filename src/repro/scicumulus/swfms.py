@@ -173,8 +173,14 @@ class SciCumulusRL:
             plan = learning.plan
             learning_time = learning.learning_time
             simulated_makespan = learning.simulated_makespan
+            # created_at = simulated learning-stage duration: deterministic
+            # for a given seed, unlike the wall clock (rule RL002).
             self.provenance.record_learning_run(
-                spec_workflow.name, label, params.label(), learning
+                spec_workflow.name,
+                label,
+                params.label(),
+                learning,
+                timestamp=learning.simulated_makespan,
             )
             scheduler_name = plan.name
         else:
@@ -226,7 +232,13 @@ class SciCumulusRL:
             learning_time=learning_time,
             simulated_makespan=simulated_makespan,
         )
+        # created_at = simulated completion time (deploy + makespan), so
+        # same-seed runs produce byte-identical provenance (rule RL002).
         self.provenance.record_execution(
-            execution, report.scheduler, label, cost=cost
+            execution,
+            report.scheduler,
+            label,
+            cost=cost,
+            timestamp=deploy_time + execution.makespan,
         )
         return report

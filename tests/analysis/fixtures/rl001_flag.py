@@ -1,0 +1,13 @@
+"""RL001 fixture: global random state (must flag)."""
+
+import random
+
+import numpy as np
+
+random.seed(42)  # module-level global seed
+
+
+def pick(items):
+    np.random.seed(7)
+    idx = np.random.randint(0, len(items))
+    return items[idx], random.random()

@@ -1,0 +1,14 @@
+"""RL001 fixture: seeded local generators only (must pass)."""
+
+import random
+
+import numpy as np
+
+from repro.util.rng import RngService, derive_seed
+
+
+def pick(items, seed):
+    rng = np.random.default_rng(derive_seed(seed, "pick"))
+    service = RngService(seed)
+    local = random.Random(seed)
+    return items[int(rng.integers(0, len(items)))], service, local

@@ -1,0 +1,11 @@
+"""RL002 fixture: wall-clock reads in simulation code (must flag)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_record(record):
+    record["created_at"] = time.time()
+    record["label"] = datetime.now().isoformat()
+    record["mono"] = time.monotonic()
+    return record

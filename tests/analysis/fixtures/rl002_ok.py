@@ -1,0 +1,10 @@
+"""RL002 fixture: injected clock + perf_counter duration (must pass)."""
+
+import time
+
+
+def stamp_record(record, clock):
+    record["created_at"] = clock()  # injected clock callable
+    started = time.perf_counter()  # duration metric, not simulated state
+    record["elapsed"] = time.perf_counter() - started
+    return record

@@ -1,0 +1,10 @@
+"""RL003 fixture: unordered set iteration in sim code (must flag)."""
+
+
+def dispatch_order(ready_ids, finished):
+    pending = set(ready_ids) - set(finished)
+    order = []
+    for activation_id in pending:
+        order.append(activation_id)
+    names = [str(x) for x in {1, 2, 3}]
+    return order, names

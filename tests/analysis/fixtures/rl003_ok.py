@@ -1,0 +1,10 @@
+"""RL003 fixture: sorted set iteration (must pass)."""
+
+
+def dispatch_order(ready_ids, finished):
+    pending = set(ready_ids) - set(finished)
+    order = []
+    for activation_id in sorted(pending):
+        order.append(activation_id)
+    names = [str(x) for x in sorted({1, 2, 3})]
+    return order, names

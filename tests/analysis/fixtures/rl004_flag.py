@@ -1,0 +1,15 @@
+"""RL004 fixture: unpicklable task functions (must flag)."""
+
+from repro.runner import ParallelRunner, Task
+
+
+def run_campaign(payloads):
+    runner = ParallelRunner(workers=4, run_id="fixture", seed=0)
+
+    def local_work(payload, seed):  # nested: cannot cross process boundary
+        return payload * seed
+
+    tasks = [Task(key=i, fn=lambda p, s: p + s, payload=p) for i, p in enumerate(payloads)]
+    tasks.append(Task(key="nested", fn=local_work, payload=1))
+    values = runner.map_values(lambda p, s: p, payloads, keys=None)
+    return runner.run(tasks), values

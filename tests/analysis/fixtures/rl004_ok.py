@@ -1,0 +1,14 @@
+"""RL004 fixture: module-level picklable task functions (must pass)."""
+
+from repro.runner import ParallelRunner, Task
+
+
+def work(payload, seed):
+    return payload * seed
+
+
+def run_campaign(payloads):
+    runner = ParallelRunner(workers=4, run_id="fixture", seed=0)
+    tasks = [Task(key=i, fn=work, payload=p) for i, p in enumerate(payloads)]
+    values = runner.map_values(work, payloads, keys=None)
+    return runner.run(tasks), values

@@ -1,0 +1,16 @@
+"""RL005 fixture: simulated clock moved backwards (must flag)."""
+
+
+class ReplaySimulator:
+    def __init__(self):
+        self._now = 0.0
+        self.now = 0.0
+
+    def rewind(self):
+        self._now -= 1.5
+
+    def adjust(self):
+        self.now = self.now - 10
+
+    def reset_negative(self):
+        self._now = -1.0

@@ -1,0 +1,12 @@
+"""RL005 fixture: monotone simulated clock (must pass)."""
+
+
+class ReplaySimulator:
+    def __init__(self):
+        self._now = 0.0
+
+    def advance(self, event_time):
+        self._now = max(self._now, event_time)
+
+    def step(self, dt):
+        self._now += dt

@@ -1,0 +1,12 @@
+"""RL006 fixture: unsorted filesystem listings (must flag)."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def load_workflow_inputs(directory):
+    entries = os.listdir(directory)
+    daxes = glob.glob(str(Path(directory) / "*.dax"))
+    children = list(Path(directory).iterdir())
+    return entries, daxes, children

@@ -1,0 +1,12 @@
+"""RL006 fixture: sorted filesystem listings (must pass)."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def load_workflow_inputs(directory):
+    entries = sorted(os.listdir(directory))
+    daxes = sorted(glob.glob(str(Path(directory) / "*.dax")))
+    children = sorted(Path(directory).iterdir())
+    return entries, daxes, children

@@ -1,0 +1,176 @@
+"""End-to-end tests for the reprolint CLI: self-scan, formats, baseline."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    BaselineError,
+    analyze_paths,
+    iter_python_files,
+    load_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = (
+    "import time\n"
+    "import random\n"
+    "random.seed(7)\n"
+    "stamp = time.time()\n"
+)
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(DIRTY, encoding="utf-8")
+    return tmp_path
+
+
+def _run(args):
+    """Invoke main() from the repo root regardless of the test cwd."""
+    return main(args)
+
+
+# -- the repo gate ------------------------------------------------------------
+
+
+def test_repo_tree_is_reprolint_clean(capsys):
+    """The acceptance gate: `reprolint src/ tests/` exits 0 on this repo."""
+    src = str(REPO_ROOT / "src")
+    tests = str(REPO_ROOT / "tests")
+    assert _run([src, tests]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_repo_gate_with_committed_empty_baseline(capsys):
+    baseline = REPO_ROOT / "reprolint-baseline.json"
+    assert baseline.is_file()
+    assert load_baseline(str(baseline)) == set()
+    rc = _run(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests"), "--baseline", str(baseline)]
+    )
+    assert rc == 0
+
+
+def test_console_entry_point_via_module(capsys):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+# -- findings & exit codes ----------------------------------------------------
+
+
+def test_dirty_tree_exits_1_with_text_findings(dirty_tree, capsys):
+    assert _run([str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "RL002" in out
+    assert "dirty.py" in out
+
+
+def test_missing_path_exits_2(dirty_tree, capsys):
+    assert _run([str(dirty_tree / "nope")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_unknown_select_code_exits_2(capsys):
+    assert _run(["--select", "RL999", "src"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_select_restricts_rules(dirty_tree, capsys):
+    assert _run([str(dirty_tree), "--select", "RL002"]) == 1
+    out = capsys.readouterr().out
+    assert "RL002" in out and "RL001" not in out
+
+
+def test_list_rules(capsys):
+    assert _run(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert code in out
+
+
+# -- output formats -----------------------------------------------------------
+
+
+def test_json_format_is_machine_readable(dirty_tree, capsys):
+    assert _run([str(dirty_tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    rules = {f["rule"] for f in payload["findings"]}
+    assert rules == {"RL001", "RL002"}
+    for f in payload["findings"]:
+        assert set(f) == {"path", "line", "col", "rule", "message"}
+
+
+def test_github_format_emits_error_annotations(dirty_tree, capsys):
+    assert _run([str(dirty_tree), "--format", "github"]) == 1
+    lines = capsys.readouterr().out.splitlines()
+    assert any(line.startswith("::error file=") for line in lines)
+    assert lines[-1].startswith("::notice")
+
+
+# -- baseline workflow --------------------------------------------------------
+
+
+def test_baseline_roundtrip_silences_existing_findings(dirty_tree, capsys):
+    baseline = dirty_tree / "baseline.json"
+    assert _run([str(dirty_tree), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # with the baseline the same tree is green ...
+    assert _run([str(dirty_tree), "--baseline", str(baseline)]) == 0
+    # ... and a *new* violation still fails the gate
+    extra = dirty_tree / "src" / "repro" / "sim" / "extra.py"
+    extra.write_text("import time\nnew_stamp = time.time()\n", encoding="utf-8")
+    capsys.readouterr()
+    assert _run([str(dirty_tree), "--baseline", str(baseline)]) == 1
+    assert "extra.py" in capsys.readouterr().out
+
+
+def test_malformed_baseline_exits_2(dirty_tree, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[]", encoding="utf-8")
+    assert _run([str(dirty_tree), "--baseline", str(bad)]) == 2
+    with pytest.raises(BaselineError):
+        load_baseline(str(bad))
+
+
+# -- discovery ----------------------------------------------------------------
+
+
+def test_fixture_directories_are_excluded_by_default(tmp_path):
+    nested = tmp_path / "tests" / "analysis" / "fixtures"
+    nested.mkdir(parents=True)
+    (nested / "bad.py").write_text("import time\nt = time.time()\n")
+    (tmp_path / "tests" / "ok.py").write_text("x = 1\n")
+    files = iter_python_files([str(tmp_path)])
+    assert [f.name for f in files] == ["ok.py"]
+
+
+def test_discovery_is_sorted_and_deduplicated(tmp_path):
+    for name in ("b.py", "a.py", "c.py"):
+        (tmp_path / name).write_text("x = 1\n")
+    files = iter_python_files([str(tmp_path), str(tmp_path / "a.py")])
+    assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+
+def test_extra_exclude_dirname(dirty_tree):
+    findings, scanned = analyze_paths([str(dirty_tree)], excluded_dirs=("sim",))
+    assert findings == [] and scanned == 0

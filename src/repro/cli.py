@@ -38,7 +38,7 @@ from repro.schedulers import (
 )
 from repro.scicumulus.swfms import SciCumulusRL
 from repro.scicumulus.xml_spec import workflow_to_xml
-from repro.sim.simulator import WorkflowSimulator
+from repro.sim.kernel import EpisodeKernel
 from repro.sim.trace import gantt_text
 from repro.util.tables import format_hms, render_table
 from repro.workflows.registry import available_workflows, make_workflow
@@ -181,12 +181,14 @@ def _cmd_workflow(args) -> int:
 def _cmd_simulate(args) -> int:
     wf = make_workflow(args.workflow, args.size, seed=args.seed)
     fleet = fleet_for(args.vcpus)
+    kernel = EpisodeKernel(wf, fleet)
     if args.scheduler in _STATIC:
-        plan = _STATIC[args.scheduler]().plan(wf, fleet)
+        # static planners share the kernel's nominal-estimate cache
+        plan = _STATIC[args.scheduler](kernel.estimate_model()).plan(wf, fleet)
         scheduler = PlanFollowingScheduler(plan)
     else:
         scheduler = _make_online_scheduler(args.scheduler, args.seed)
-    result = WorkflowSimulator(wf, fleet, scheduler, seed=args.seed).run()
+    result = kernel.run_episode(scheduler, args.seed)
     print(f"scheduler={args.scheduler} workflow={wf.name} "
           f"vcpus={args.vcpus}")
     print(f"state={result.final_state}")

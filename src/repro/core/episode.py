@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping
 
 from repro.schedulers.base import SchedulingPlan
 from repro.util.validate import ValidationError
@@ -31,7 +31,7 @@ class EpisodeRecord:
     final_reward: float  #: r^t at episode end
     assignment: Dict[int, int] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "episode": self.episode,
             "makespan": self.makespan,
@@ -43,7 +43,7 @@ class EpisodeRecord:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "EpisodeRecord":
+    def from_dict(cls, data: Mapping[str, Any]) -> "EpisodeRecord":
         return cls(
             episode=int(data["episode"]),
             makespan=float(data["makespan"]),

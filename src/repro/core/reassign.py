@@ -53,9 +53,11 @@ from repro.rl.reward import PerformanceReward
 from repro.schedulers.base import Decision, OnlineScheduler, SchedulingPlan
 from repro.sim.failures import FailureModel
 from repro.sim.fluctuation import BurstThrottleFluctuation, FluctuationModel
+from repro.sim.kernel import EpisodeKernel, PendingExecution
+from repro.sim.metrics import SimulationResult
 from repro.sim.migration import MigrationModel
 from repro.sim.network import NetworkModel
-from repro.sim.simulator import SimulationContext, WorkflowSimulator
+from repro.sim.simulator import SimulationContext
 from repro.sim.vm import Vm, as_single_slot
 from repro.dag.graph import Workflow
 from repro.util.rng import RngService
@@ -276,7 +278,9 @@ class ReassignScheduler(OnlineScheduler):
             delta = r_t + gamma_t * future - q_sa
             self.qtable.add(self._last_state, action, self.params.alpha * delta)
 
-    def on_dispatched(self, ctx: SimulationContext, pending) -> None:
+    def on_dispatched(
+        self, ctx: SimulationContext, pending: PendingExecution
+    ) -> None:
         """The §III-B/§III-C step: reward + Eq. 3 Q-update for the action."""
         if not self.learning:
             return
@@ -293,7 +297,9 @@ class ReassignScheduler(OnlineScheduler):
         self._t += 1
         self._steps += 1
 
-    def on_simulation_end(self, ctx: SimulationContext, result) -> None:
+    def on_simulation_end(
+        self, ctx: SimulationContext, result: SimulationResult
+    ) -> None:
         if self.learning and self._sarsa_pending is not None:
             # terminal flush: no next action, future value 0
             s, a, r_t, _ = self._sarsa_pending
@@ -398,6 +404,10 @@ class ReassignLearner:
             migrations=migrations,
             max_attempts=max_attempts,
         )
+        # One kernel for the whole learning run: the DAG topology, index
+        # maps and nominal estimate caches are built once; each episode
+        # only resets the O(n) mutable state (see docs/architecture.md).
+        self._kernel: Optional[EpisodeKernel] = None
         qtable = (
             QTable.from_json(prior_qtable_json, seed=seed)
             if prior_qtable_json
@@ -409,27 +419,34 @@ class ReassignLearner:
         if prior_history:
             self.scheduler.reward.bootstrap(prior_history)
 
-    def _make_simulator(self, scheduler, sim_seed: int) -> WorkflowSimulator:
-        return WorkflowSimulator(
-            self.workflow, self.vms, scheduler, seed=sim_seed, **self._sim_kwargs
-        )
+    @property
+    def kernel(self) -> EpisodeKernel:
+        """The learner's episode kernel (built lazily, reused per episode)."""
+        if self._kernel is None:
+            self._kernel = EpisodeKernel(
+                self.workflow, self.vms, **self._sim_kwargs
+            )
+        return self._kernel
 
     def learn(self) -> LearningResult:
         """Run ``params.episodes`` learning episodes and extract the plan.
 
         The learning environment is deterministic given the seed, so each
         episode replays the same cloud while the policy's exploration
-        varies — matching WorkflowSim-based learning in the paper.
+        varies — matching WorkflowSim-based learning in the paper.  All
+        episodes reuse one :class:`~repro.sim.kernel.EpisodeKernel`; the
+        per-episode seeds (and therefore every simulated number) are
+        identical to the historical one-simulator-per-episode path.
         """
+        kernel = self.kernel
         rng = RngService(self.seed)
         episodes: List[EpisodeRecord] = []
         last_result = None
         started = time.perf_counter()
         for episode_idx in range(self.params.episodes):
-            sim = self._make_simulator(
+            result = kernel.run_episode(
                 self.scheduler, rng.spawn_seed(f"episode:{episode_idx}")
             )
-            result = sim.run()
             last_result = result
             episodes.append(
                 EpisodeRecord(
@@ -482,8 +499,9 @@ class ReassignLearner:
             seed=self.seed,
             learning=False,
         )
-        sim = self._make_simulator(greedy, RngService(self.seed).spawn_seed("greedy"))
-        result = sim.run()
+        result = self.kernel.run_episode(
+            greedy, RngService(self.seed).spawn_seed("greedy")
+        )
         if not result.succeeded:
             raise ValidationError(
                 "greedy replay did not finish successfully; cannot extract a plan"

@@ -21,12 +21,13 @@ regression tests render Table II from).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.episode import LearningResult
 from repro.core.reassign import ReassignLearner, ReassignParams
 from repro.dag.graph import Workflow
 from repro.runner import ParallelRunner, Task
+from repro.runner.parallel import ProgressFn
 from repro.sim.vm import Vm
 from repro.util.validate import ValidationError
 
@@ -34,6 +35,12 @@ __all__ = ["SweepRecord", "sweep_parameters", "sweep_tasks", "PAPER_GRID"]
 
 #: the paper's parameter values for alpha, gamma and epsilon
 PAPER_GRID: Tuple[float, ...] = (0.1, 0.5, 1.0)
+
+#: ``factory(workflow, vms, params, seed)`` -> a ``learn()``-able object.
+LearnerFactory = Callable[[Workflow, Sequence[Vm], ReassignParams, int], Any]
+
+#: one cell's task payload: (workflow, vms, params, factory, timing)
+CellPayload = Tuple[Workflow, List[Vm], ReassignParams, Optional[LearnerFactory], str]
 
 
 @dataclass(frozen=True)
@@ -62,7 +69,7 @@ def default_learner_factory(
     return ReassignLearner(workflow, vms, params, seed=run_seed)
 
 
-def run_sweep_cell(payload, seed: int) -> SweepRecord:
+def run_sweep_cell(payload: CellPayload, seed: int) -> SweepRecord:
     """Execute one sweep cell — the :class:`~repro.runner.Task` function.
 
     ``payload`` is ``(workflow, vms, params, factory, timing)``; the
@@ -99,9 +106,9 @@ def sweep_tasks(
     mu: float = 0.5,
     rho: float = 0.5,
     seed: int = 0,
-    learner_factory: Optional[Callable] = None,
+    learner_factory: Optional[LearnerFactory] = None,
     timing: str = "wall",
-    key_prefix: Tuple = (),
+    key_prefix: Tuple[Any, ...] = (),
 ) -> List[Task]:
     """Build the cell tasks of one fleet's (α, γ, ε) grid.
 
@@ -150,10 +157,10 @@ def sweep_parameters(
     mu: float = 0.5,
     rho: float = 0.5,
     seed: int = 0,
-    learner_factory=None,
+    learner_factory: Optional[LearnerFactory] = None,
     workers: Optional[int] = 1,
     timing: str = "wall",
-    progress=None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[SweepRecord]:
     """Run a learning run per (α, γ, ε) combination on one fleet.
 

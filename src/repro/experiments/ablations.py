@@ -26,7 +26,7 @@ from repro.experiments.environments import fleet_for
 from repro.runner import ParallelRunner, Task
 from repro.schedulers.heft import HeftScheduler
 from repro.schedulers.base import PlanFollowingScheduler
-from repro.sim.simulator import WorkflowSimulator
+from repro.sim.kernel import EpisodeKernel
 from repro.sim.fluctuation import BurstThrottleFluctuation
 from repro.util.tables import render_table
 from repro.workflows.montage import montage
@@ -50,16 +50,13 @@ __all__ = [
 _LEARNING_FLUCTUATION = dict(credit_seconds=240.0, throttle_factor=1.7)
 
 
-def _replay_makespan(workflow: Workflow, fleet, plan) -> float:
-    """Makespan of a plan in the learning simulator (throttle included)."""
-    sim = WorkflowSimulator(
+def _replay_kernel(workflow: Workflow, fleet) -> EpisodeKernel:
+    """Learning-simulator kernel (throttle included), reusable per replay."""
+    return EpisodeKernel(
         workflow,
         fleet,
-        PlanFollowingScheduler(plan),
         fluctuation=BurstThrottleFluctuation(**_LEARNING_FLUCTUATION),
-        seed=0,
     )
-    return sim.run().makespan
 
 
 # -- A1: reward constants -----------------------------------------------------
@@ -193,8 +190,9 @@ def _workload_cell(payload, seed: int) -> Tuple[str, float, float]:
     name, size, vcpus, episodes = payload
     wf = make_workflow(name, size, seed=seed)
     fleet = fleet_for(vcpus)
-    heft_plan = HeftScheduler().plan(wf, fleet)
-    heft_mk = _replay_makespan(wf, fleet, heft_plan)
+    kernel = _replay_kernel(wf, fleet)
+    heft_plan = HeftScheduler(kernel.estimate_model()).plan(wf, fleet)
+    heft_mk = kernel.run_episode(PlanFollowingScheduler(heft_plan), 0).makespan
     params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
     result = ReassignLearner(wf, fleet, params, seed=seed).learn()
     return (wf.name, heft_mk, result.simulated_makespan)
@@ -323,10 +321,14 @@ def run_revocation_ablation(
 
     wf = workflow if workflow is not None else montage(50, seed=seed)
     fleet = fleet_for(vcpus)
-    revocations = PoissonRevocations(
-        mean_lifetime=mean_lifetime, spot_fraction=spot_fraction
+    kernel = EpisodeKernel(
+        wf,
+        fleet,
+        revocations=PoissonRevocations(
+            mean_lifetime=mean_lifetime, spot_fraction=spot_fraction
+        ),
     )
-    heft_plan = HeftScheduler().plan(wf, fleet)
+    heft_plan = HeftScheduler(kernel.estimate_model()).plan(wf, fleet)
     candidates = [
         ("HEFT (static plan)", PlanFollowingScheduler(heft_plan)),
         ("Greedy online", GreedyOnlineScheduler()),
@@ -337,13 +339,13 @@ def run_revocation_ablation(
             ),
         ),
     ]
+    # one kernel for all candidates: a deadlocked episode (SimulationError
+    # mid-run) leaves it pristine for the next scheduler via run_episode's
+    # scrub-on-exception guarantee
     rows: List[Tuple[str, str, float]] = []
     for label, scheduler in candidates:
-        sim = WorkflowSimulator(
-            wf, fleet, scheduler, revocations=revocations, seed=seed
-        )
         try:
-            result = sim.run()
+            result = kernel.run_episode(scheduler, seed)
             rows.append((label, result.final_state, result.makespan))
         except SimulationError:
             rows.append((label, "deadlocked", float("inf")))
@@ -374,6 +376,14 @@ def run_cost_ablation(
     wf = workflow if workflow is not None else montage(50, seed=seed)
     fleet = fleet_for(vcpus)
     big = {vm.id for vm in fleet if vm.capacity > 1}
+    replay_kernel = EpisodeKernel(
+        wf,
+        fleet,
+        network=SharedStorageNetwork(),
+        fluctuation=BurstThrottleFluctuation(
+            credit_seconds=60.0, throttle_factor=2.0
+        ),
+    )
     rows: List[Tuple[float, float, float, int]] = []
     for weight in weights:
         params = ReassignParams(
@@ -383,16 +393,9 @@ def run_cost_ablation(
         result = ReassignLearner(
             wf, fleet, params, seed=seed, reward=reward
         ).learn()
-        replay = WorkflowSimulator(
-            wf,
-            fleet,
-            PlanFollowingScheduler(result.plan),
-            network=SharedStorageNetwork(),
-            fluctuation=BurstThrottleFluctuation(
-                credit_seconds=60.0, throttle_factor=2.0
-            ),
-            seed=seed,
-        ).run()
+        replay = replay_kernel.run_episode(
+            PlanFollowingScheduler(result.plan), seed
+        )
         on_big = sum(1 for v in result.plan.assignment.values() if v in big)
         rows.append((weight, replay.makespan, replay.usage_cost(), on_big))
     return rows
@@ -541,10 +544,11 @@ def run_clustering_ablation(
     )
 
     def makespan(target_wf, plan) -> float:
-        return WorkflowSimulator(
-            target_wf, fleet, PlanFollowingScheduler(plan),
-            network=network, seed=seed,
-        ).run().makespan
+        # each clustering variant is a different DAG, so each gets its
+        # own kernel; the MPI-overhead network keeps planning estimates
+        # on the plain nominal model
+        kernel = EpisodeKernel(target_wf, fleet, network=network)
+        return kernel.run_episode(PlanFollowingScheduler(plan), seed).makespan
 
     rows: List[Tuple[str, int, float]] = []
     plain_plan = HeftScheduler().plan(wf, fleet)

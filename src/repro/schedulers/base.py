@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dag.activation import Activation
 from repro.dag.graph import Workflow
+from repro.sim.estimates import NominalEstimateCache
 from repro.sim.simulator import SimulationContext
 from repro.sim.vm import Vm
 from repro.util.validate import ValidationError, check_non_negative
@@ -44,12 +45,27 @@ class EstimateModel:
     published at the producer's bandwidth).
     """
 
-    def __init__(self, latency: float = 0.05, upload_outputs: bool = True) -> None:
+    def __init__(
+        self,
+        latency: float = 0.05,
+        upload_outputs: bool = True,
+        cache: Optional[NominalEstimateCache] = None,
+    ) -> None:
         self.latency = check_non_negative("latency", latency)
         self.upload_outputs = bool(upload_outputs)
+        if cache is not None and (
+            cache.latency != self.latency
+            or cache.upload_outputs != self.upload_outputs
+        ):
+            raise ValidationError(
+                "estimate cache parameters do not match the model's"
+            )
+        self._cache = cache
 
     def compute_time(self, activation: Activation, vm: Vm) -> float:
         """Nominal compute seconds of ``activation`` on ``vm``."""
+        if self._cache is not None:
+            return self._cache.compute_time(activation, vm)
         return vm.execution_time(activation.runtime)
 
     def stage_in_time(
@@ -68,6 +84,16 @@ class EstimateModel:
         for pid in workflow.parents(activation.id):
             for f in workflow.activation(pid).outputs:
                 producer_of[f.name] = pid
+        if self._cache is not None:
+            # same per-file terms summed in the same order as below, so
+            # the cached sum is bit-identical to the uncached one
+            total = 0.0
+            for name, seconds in self._cache.stage_in_terms(activation, vm):
+                pid = producer_of.get(name)
+                if pid is not None and placement.get(pid) == vm.id:
+                    continue  # already local
+                total += seconds
+            return total
         bw = vm.type.bandwidth_bytes_per_s
         total = 0.0
         for f in activation.inputs:
@@ -81,6 +107,8 @@ class EstimateModel:
         """Publishing estimate."""
         if not self.upload_outputs:
             return 0.0
+        if self._cache is not None:
+            return self._cache.stage_out_time(activation, vm)
         bw = vm.type.bandwidth_bytes_per_s
         return sum(self.latency + f.size_bytes / bw for f in activation.outputs)
 

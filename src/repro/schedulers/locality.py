@@ -42,7 +42,7 @@ class LocalityScheduler(OnlineScheduler):
         self, ctx: SimulationContext, activation: Activation, vm: Vm
     ) -> float:
         """Input bytes of ``activation`` already present on ``vm``."""
-        locations = ctx._sim._file_locations  # read-only peek
+        locations = ctx.file_locations
         return sum(
             f.size_bytes
             for f in activation.inputs

@@ -4,9 +4,13 @@ The package mirrors the WorkflowSim decomposition the paper relies on:
 
 - a **Workflow Mapper** role: :mod:`repro.dag` + :mod:`repro.sim.vm`
   bind abstract activations to concrete VM resources;
-- a **Workflow Engine** role: :class:`~repro.sim.simulator.WorkflowSimulator`
+- a **Workflow Engine** role: :class:`~repro.sim.kernel.EpisodeKernel`
   tracks dependencies, releases ready activations and advances simulated
-  time through an event heap;
+  time through an event heap, split into immutable cross-episode data
+  and a resettable :class:`~repro.sim.kernel.EpisodeState` (see
+  ``docs/architecture.md``);
+  :class:`~repro.sim.simulator.WorkflowSimulator` is the one-shot facade
+  over it;
 - a **Workflow Scheduler** role: pluggable
   :class:`~repro.schedulers.base.OnlineScheduler` objects are consulted at
   every decision point (the paper's *available* workflow state).
@@ -35,6 +39,13 @@ from repro.sim.failures import FailureModel, NoFailures, BernoulliFailures
 from repro.sim.migration import MigrationModel, NoMigrations, PeriodicMigrations
 from repro.sim.spot import NoRevocations, PoissonRevocations, Revocation, RevocationModel
 from repro.sim.metrics import ActivationRecord, SimulationResult, VmUsage
+from repro.sim.estimates import NominalEstimateCache
+from repro.sim.kernel import (
+    EpisodeKernel,
+    EpisodeState,
+    PendingExecution,
+    SimulationError,
+)
 from repro.sim.simulator import SimulationContext, WorkflowSimulator
 from repro.sim.trace import gantt_text
 from repro.sim.validate import validate_result
@@ -75,6 +86,11 @@ __all__ = [
     "ActivationRecord",
     "SimulationResult",
     "VmUsage",
+    "NominalEstimateCache",
+    "EpisodeKernel",
+    "EpisodeState",
+    "PendingExecution",
+    "SimulationError",
     "SimulationContext",
     "WorkflowSimulator",
     "gantt_text",

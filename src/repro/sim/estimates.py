@@ -1,0 +1,142 @@
+"""Shared nominal-cost caches for a frozen (workflow, fleet) pair.
+
+The same three formulas — nominal compute ``runtime / speed``, per-file
+transfer ``latency + size / bandwidth``, and their sums over an
+activation's inputs/outputs — were historically evaluated from scratch in
+two places: :class:`~repro.sim.network.SharedStorageNetwork` at every
+dispatch, and :class:`~repro.schedulers.base.EstimateModel` at every
+planning step.  :class:`NominalEstimateCache` memoizes them once per
+``(activation, vm)`` pair so an :class:`~repro.sim.kernel.EpisodeKernel`
+and the planners it feeds share one table.
+
+Bit-identity contract: cached values are produced by *the same float
+expressions in the same order* as the uncached paths.  A per-file term is
+precomputed as ``latency + size_bytes / bandwidth`` (one float), and sums
+accumulate those terms in input/output declaration order — exactly the
+accumulation the original ``total += latency + size / bw`` loop performed
+— so a cached result is the identical IEEE-754 value, not merely a close
+one.  The golden-trace suite (``tests/test_kernel_equivalence.py``)
+enforces this.
+
+Keys are ``(activation id, vm id)``: valid only because the cache is
+bound to one frozen workflow and one fleet at construction.  Lookups for
+foreign objects (an activation or VM that is not the bound instance with
+that id) fall back to direct evaluation, which yields the same value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.dag.activation import Activation, File
+from repro.sim.vm import Vm
+from repro.util.validate import check_non_negative
+
+__all__ = ["NominalEstimateCache"]
+
+#: Per-file staging terms: (file name, transfer seconds), in input order.
+StageInTerms = Tuple[Tuple[str, float], ...]
+
+
+class NominalEstimateCache:
+    """Lazily-memoized nominal estimates for one workflow on one fleet.
+
+    Parameters
+    ----------
+    latency / upload_outputs:
+        Staging parameters, mirroring
+        :class:`~repro.sim.network.SharedStorageNetwork`.
+    """
+
+    def __init__(
+        self,
+        vms: Sequence[Vm],
+        *,
+        latency: float = 0.05,
+        upload_outputs: bool = True,
+    ) -> None:
+        self.latency = check_non_negative("latency", latency)
+        self.upload_outputs = bool(upload_outputs)
+        self._vm_by_id: Dict[int, Vm] = {vm.id: vm for vm in vms}
+        self._compute: Dict[Tuple[int, int], float] = {}
+        self._stage_in_terms: Dict[Tuple[int, int], StageInTerms] = {}
+        self._stage_out: Dict[Tuple[int, int], float] = {}
+
+    # -- key validity ----------------------------------------------------
+
+    def _bound(self, vm: Vm) -> bool:
+        """True when ``vm`` is the fleet instance its id refers to."""
+        return self._vm_by_id.get(vm.id) is vm
+
+    # -- estimates -------------------------------------------------------
+
+    def compute_time(self, activation: Activation, vm: Vm) -> float:
+        """Nominal compute seconds (``runtime / speed``), memoized."""
+        if not self._bound(vm):
+            return vm.execution_time(activation.runtime)
+        key = (activation.id, vm.id)
+        value = self._compute.get(key)
+        if value is None:
+            value = vm.execution_time(activation.runtime)
+            self._compute[key] = value
+        return value
+
+    def stage_in_terms(self, activation: Activation, vm: Vm) -> StageInTerms:
+        """Per-input-file transfer terms on ``vm``, in declaration order."""
+        if not self._bound(vm):
+            return self._terms(activation.inputs, vm)
+        key = (activation.id, vm.id)
+        terms = self._stage_in_terms.get(key)
+        if terms is None:
+            terms = self._terms(activation.inputs, vm)
+            self._stage_in_terms[key] = terms
+        return terms
+
+    def _terms(self, files: Sequence[File], vm: Vm) -> StageInTerms:
+        bw = vm.type.bandwidth_bytes_per_s
+        return tuple(
+            (f.name, self.latency + f.size_bytes / bw) for f in files
+        )
+
+    def stage_in_time(
+        self,
+        activation: Activation,
+        vm: Vm,
+        file_locations: Mapping[str, int],
+    ) -> float:
+        """Staging seconds given current placement.
+
+        Accumulates the precomputed per-file terms in input order over
+        exactly the files ``SharedStorageNetwork`` would transfer (those
+        not already located on ``vm``), so the sum is bit-identical to
+        the uncached network path.
+        """
+        total = 0.0
+        for name, seconds in self.stage_in_terms(activation, vm):
+            if file_locations.get(name) != vm.id:
+                total += seconds
+        return total
+
+    def stage_out_time(self, activation: Activation, vm: Vm) -> float:
+        """Publishing seconds; a pure function of (activation, vm)."""
+        if not self.upload_outputs:
+            return 0.0
+        if not self._bound(vm):
+            return self._sum_terms(activation.outputs, vm)
+        key = (activation.id, vm.id)
+        value = self._stage_out.get(key)
+        if value is None:
+            value = self._sum_terms(activation.outputs, vm)
+            self._stage_out[key] = value
+        return value
+
+    def _sum_terms(self, files: Sequence[File], vm: Vm) -> float:
+        bw = vm.type.bandwidth_bytes_per_s
+        total = 0.0
+        for f in files:
+            total += self.latency + f.size_bytes / bw
+        return total
+
+    def vm(self, vm_id: int) -> Optional[Vm]:
+        """The bound fleet VM with ``vm_id``, if any."""
+        return self._vm_by_id.get(vm_id)

@@ -13,7 +13,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.util.validate import ValidationError
 
@@ -54,7 +54,7 @@ class EventQueue:
     """A deterministic min-heap of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def push(self, event: Event) -> Event:

@@ -41,7 +41,13 @@ class FailureModel(abc.ABC):
 class NoFailures(FailureModel):
     """Every attempt succeeds."""
 
-    def attempt_fails(self, activation, vm, attempt, rng):
+    def attempt_fails(
+        self,
+        activation: Activation,
+        vm: Vm,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> bool:
         return False
 
 
@@ -62,7 +68,13 @@ class BernoulliFailures(FailureModel):
         self.activity = activity
         self.vm_id = vm_id
 
-    def attempt_fails(self, activation, vm, attempt, rng):
+    def attempt_fails(
+        self,
+        activation: Activation,
+        vm: Vm,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> bool:
         if self.activity and activation.activity != self.activity:
             return False
         if self.vm_id >= 0 and vm.id != self.vm_id:

@@ -66,7 +66,9 @@ class FluctuationModel(abc.ABC):
 class NoFluctuation(FluctuationModel):
     """Deterministic executions (the clean learning simulator)."""
 
-    def factor(self, vm, now, busy_time, rng):
+    def factor(
+        self, vm: Vm, now: float, busy_time: float, rng: np.random.Generator
+    ) -> float:
         return 1.0
 
 
@@ -76,7 +78,9 @@ class GaussianFluctuation(FluctuationModel):
     def __init__(self, sigma: float = 0.1) -> None:
         self.sigma = check_non_negative("sigma", sigma)
 
-    def factor(self, vm, now, busy_time, rng):
+    def factor(
+        self, vm: Vm, now: float, busy_time: float, rng: np.random.Generator
+    ) -> float:
         return self._clamp(rng.normal(1.0, self.sigma))
 
 
@@ -101,7 +105,9 @@ class BurstThrottleFluctuation(FluctuationModel):
             raise ValueError("throttle_factor must be >= 1.0")
         self.burstable_max_vcpus = int(burstable_max_vcpus)
 
-    def factor(self, vm, now, busy_time, rng):
+    def factor(
+        self, vm: Vm, now: float, busy_time: float, rng: np.random.Generator
+    ) -> float:
         if vm.type.vcpus <= self.burstable_max_vcpus and busy_time > self.credit_seconds:
             return self.throttle_factor
         return 1.0
@@ -116,7 +122,9 @@ class InterferenceFluctuation(FluctuationModel):
         if self.slowdown < 1.0:
             raise ValueError("slowdown must be >= 1.0")
 
-    def factor(self, vm, now, busy_time, rng):
+    def factor(
+        self, vm: Vm, now: float, busy_time: float, rng: np.random.Generator
+    ) -> float:
         if rng.random() < self.probability:
             return self.slowdown
         return 1.0
@@ -130,7 +138,9 @@ class ComposedFluctuation(FluctuationModel):
             raise ValueError("ComposedFluctuation needs at least one model")
         self.models = list(models)
 
-    def factor(self, vm, now, busy_time, rng):
+    def factor(
+        self, vm: Vm, now: float, busy_time: float, rng: np.random.Generator
+    ) -> float:
         out = 1.0
         for model in self.models:
             out *= model.factor(vm, now, busy_time, rng)

@@ -1,0 +1,857 @@
+"""The episode kernel: immutable cross-episode data + resettable state.
+
+The simulation layer is split into three tiers (see
+``docs/architecture.md``):
+
+- :class:`EpisodeKernel` — everything valid across episodes: a private
+  frozen-topology copy of the workflow with precomputed successor /
+  predecessor / entry index maps, the VM fleet, the environment models,
+  and a :class:`~repro.sim.estimates.NominalEstimateCache` shared with
+  planning-time :class:`~repro.schedulers.base.EstimateModel` objects.
+  Build one kernel per (workflow, fleet, models) configuration and call
+  :meth:`EpisodeKernel.run_episode` once per episode.
+- :class:`EpisodeState` — everything one episode mutates: simulated
+  time, the event queue, activation states (with incremental ready-set
+  and terminal-predicate counters), per-VM slots, file placement, RNG
+  streams.  ``reset(seed)`` is O(activations + VMs) — no DAG copy, no
+  cache rebuild.
+- the event loop — :meth:`EpisodeKernel.run_episode` drives (1)+(2),
+  preserving the exact event semantics, hook order and float arithmetic
+  of the original :class:`~repro.sim.simulator.WorkflowSimulator`, which
+  is now a thin facade over this module.  The golden-trace suite
+  (``tests/test_kernel_equivalence.py``) pins the equivalence
+  bit-for-bit.
+
+Episode-reuse contract: the kernel's workflow copy and fleet are shared
+mutable state across episodes.  ``run_episode`` resets them at entry and
+scrubs them back to pristine (all activations LOCKED, all VM slots
+clear) if an episode aborts with an exception, so a failing episode can
+never corrupt the next one.  The caller's workflow object is never
+touched at all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.dag.activation import Activation, ActivationState
+from repro.dag.graph import Workflow
+from repro.sim.estimates import NominalEstimateCache
+from repro.sim.events import Event, EventQueue, EventType
+from repro.sim.failures import FailureModel, NoFailures
+from repro.sim.fluctuation import FluctuationModel, NoFluctuation
+from repro.sim.metrics import ActivationRecord, SimulationResult
+from repro.sim.migration import MigrationModel, MigrationWindow, NoMigrations
+from repro.sim.network import NetworkModel, SharedStorageNetwork
+from repro.sim.spot import NoRevocations, RevocationModel
+from repro.sim.vm import Vm
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError, check_positive
+
+__all__ = [
+    "EpisodeKernel",
+    "EpisodeState",
+    "PendingExecution",
+    "SimulationContext",
+    "SimulationError",
+]
+
+_TERMINAL_STATES = ("successfully finished", "finished with failure")
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation cannot make progress (deadlock/horizon)."""
+
+
+@dataclass
+class PendingExecution:
+    """Bookkeeping for one in-flight execution attempt."""
+
+    activation_id: int
+    vm_id: int
+    ready_time: float
+    dispatch_time: float
+    stage_in: float
+    exec_duration: float  #: staging + compute + publish for this attempt
+    planned_finish: float
+    attempt: int
+    outcome: str  #: "success" | "retry" | "failure"
+    event: Optional[Event] = None
+
+    @property
+    def queue_time(self) -> float:
+        """``tf`` — how long the activation waited in READY."""
+        return self.dispatch_time - self.ready_time
+
+    @property
+    def planned_execution_time(self) -> float:
+        """``te`` — how long the attempt will occupy the VM."""
+        return self.exec_duration
+
+
+class EpisodeState:
+    """Mutable per-episode simulation state with an O(n) reset.
+
+    Owns every quantity one episode changes — including the activation
+    ``state`` fields of the kernel's workflow copy and the runtime state
+    of the fleet's :class:`~repro.sim.vm.Vm` objects.  All transitions
+    go through the methods here so the incremental trackers (sorted
+    ready ids, terminal-predicate counters, cached context views) can
+    never drift from the underlying objects.
+    """
+
+    def __init__(self, kernel: "EpisodeKernel") -> None:
+        self._kernel = kernel
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.records: List[ActivationRecord] = []
+        self.ready_time: Dict[int, float] = {}
+        self.attempts: Dict[int, int] = {}
+        self.busy_time: Dict[int, float] = {}
+        self.file_locations: Dict[str, int] = {}
+        self.in_flight: Dict[int, PendingExecution] = {}
+        self.dispatch_scheduled = False
+        # incremental trackers
+        self._ready_ids: List[int] = []
+        self._unfinished_parents: Dict[int, int] = {}
+        self._n_finished = 0
+        self._n_failed = 0
+        self._n_running = 0
+        # cached scheduler-facing views (satellite: no per-access rebuilds)
+        self._ready_cache: Optional[Tuple[Activation, ...]] = None
+        self._records_cache: Optional[Tuple[ActivationRecord, ...]] = None
+        self._vm_version = 0
+        self._idle_key: Optional[Tuple[float, int]] = None
+        self._idle_cache: Tuple[Vm, ...] = ()
+        # RNG streams, re-derived from the per-episode seed in reset()
+        self.rng_fluct: np.random.Generator
+        self.rng_fail: np.random.Generator
+        self.rng_migr: np.random.Generator
+        self.rng_revoke: np.random.Generator
+        self.reset(0)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def scrub(self) -> None:
+        """Force the shared mutable objects back to pristine.
+
+        Safe from *any* state, including mid-episode after an exception:
+        activation resets bypass the transition table and VM resets clear
+        occupied slots.  Leaves every activation LOCKED with no pending
+        events — the state ``reset`` starts from.
+        """
+        for ac in self._kernel.activations:
+            ac.reset()
+        for vm in self._kernel.vms:
+            vm.reset()
+        self._vm_version += 1
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.records = []
+        self.ready_time = {}
+        self.attempts = {}
+        self.busy_time = {vm.id: 0.0 for vm in self._kernel.vms}
+        self.file_locations = {}
+        self.in_flight = {}
+        self.dispatch_scheduled = False
+        self._ready_ids = []
+        self._unfinished_parents = dict(self._kernel.initial_pred_count)
+        self._n_finished = 0
+        self._n_failed = 0
+        self._n_running = 0
+        self._ready_cache = None
+        self._records_cache = None
+        self._idle_key = None
+        self._idle_cache = ()
+
+    def reset(self, seed: int) -> None:
+        """Start a fresh episode: O(activations + VMs + scheduled windows).
+
+        Mirrors the original per-run initialization exactly — same RNG
+        stream names, same event scheduling order (boots, then migration
+        windows, then revocations) — so episodes are bit-identical to
+        runs of the pre-kernel simulator with the same seed.
+        """
+        kernel = self._kernel
+        self.scrub()
+        for i in kernel.entry_ids:
+            kernel.activation(i).transition(ActivationState.READY)
+            self._ready_ids.append(i)  # entry_ids are pre-sorted
+            self.ready_time[i] = 0.0
+
+        rng = RngService(seed)
+        self.rng_fluct = rng.stream("fluctuation")
+        self.rng_fail = rng.stream("failures")
+        self.rng_migr = rng.stream("migrations")
+        self.rng_revoke = rng.stream("revocations")
+
+        for vm in kernel.vms:
+            boot = vm.type.boot_time
+            vm.available_at = boot
+            if boot > 0:
+                self.queue.schedule(boot, EventType.VM_READY, vm.id)
+
+        for window in kernel.migrations.windows(
+            kernel.vms, kernel.horizon, self.rng_migr
+        ):
+            self.queue.schedule(window.start, EventType.MIGRATION_START, window)
+
+        for revocation in kernel.revocations.revocations(
+            kernel.vms, kernel.horizon, self.rng_revoke
+        ):
+            self.queue.schedule(
+                revocation.time, EventType.REVOCATION, revocation.vm_id
+            )
+
+    # -- the paper's workflow-state predicate, O(1) ----------------------
+
+    def workflow_state(self) -> str:
+        """The paper's 4-valued workflow state, from maintained counters.
+
+        Agrees with :meth:`repro.dag.graph.Workflow.workflow_state`'s
+        O(n) scan at every point of an episode (the activation ``state``
+        fields are kept in sync by the transition methods below).
+        """
+        n_total = self._kernel.n_activations
+        if self._n_finished == n_total:
+            return "successfully finished"
+        n_ready = len(self._ready_ids)
+        n_locked = (
+            n_total - self._n_finished - self._n_failed
+            - self._n_running - n_ready
+        )
+        if self._n_failed and not (n_ready or n_locked or self._n_running):
+            return "finished with failure"
+        if n_ready:
+            return "available"
+        return "unavailable"
+
+    # -- cached context views --------------------------------------------
+
+    def ready_view(self) -> Tuple[Activation, ...]:
+        """READY activations ordered by id; cached until the set changes."""
+        if self._ready_cache is None:
+            kernel = self._kernel
+            self._ready_cache = tuple(
+                kernel.activation(i) for i in self._ready_ids
+            )
+        return self._ready_cache
+
+    def idle_view(self) -> Tuple[Vm, ...]:
+        """Idle VMs; cached per (time, fleet-mutation) generation."""
+        key = (self.now, self._vm_version)
+        if key != self._idle_key:
+            self._idle_key = key
+            now = self.now
+            self._idle_cache = tuple(
+                vm for vm in self._kernel.vms if vm.is_idle(now)
+            )
+        return self._idle_cache
+
+    def records_view(self) -> Tuple[ActivationRecord, ...]:
+        """Completed records; cached until the next completion."""
+        if self._records_cache is None:
+            self._records_cache = tuple(self.records)
+        return self._records_cache
+
+    def has_ready(self) -> bool:
+        return bool(self._ready_ids)
+
+    # -- activation transitions ------------------------------------------
+
+    def make_ready(self, activation: Activation, was_running: bool) -> None:
+        """RUNNING -> READY (retry / revocation); keeps its ready_time."""
+        activation.transition(ActivationState.READY)
+        insort(self._ready_ids, activation.id)
+        if was_running:
+            self._n_running -= 1
+        self._ready_cache = None
+
+    def start_running(self, activation: Activation, vm: Vm) -> None:
+        """READY -> RUNNING and occupy a slot on ``vm``."""
+        activation.transition(ActivationState.RUNNING)
+        idx = bisect_left(self._ready_ids, activation.id)
+        del self._ready_ids[idx]
+        self._n_running += 1
+        self._ready_cache = None
+        vm.start(activation.id)
+        self._vm_version += 1
+
+    def finish_success(self, activation: Activation) -> List[int]:
+        """RUNNING -> FINISHED; release now-unblocked children.
+
+        Returns the newly READY child ids (sorted), mirroring
+        :meth:`repro.dag.graph.Workflow.release_children` — but in
+        O(out-degree) via the per-episode unfinished-parent countdown
+        instead of re-checking every parent.
+        """
+        activation.transition(ActivationState.FINISHED)
+        self._n_running -= 1
+        self._n_finished += 1
+        kernel = self._kernel
+        released: List[int] = []
+        for child_id in kernel.children(activation.id):
+            remaining = self._unfinished_parents[child_id] - 1
+            self._unfinished_parents[child_id] = remaining
+            child = kernel.activation(child_id)
+            if remaining == 0 and child.state is ActivationState.LOCKED:
+                child.transition(ActivationState.READY)
+                insort(self._ready_ids, child_id)
+                released.append(child_id)
+        if released:
+            self._ready_cache = None
+            now = self.now
+            for child_id in released:
+                self.ready_time[child_id] = now
+        return released
+
+    def finish_failure(self, activation: Activation) -> None:
+        """RUNNING -> FAILED, cascading to LOCKED descendants.
+
+        Descendants of a failed activation can never run; marking them
+        FAILED keeps the paper's terminal predicate reachable.
+        """
+        activation.transition(ActivationState.FAILED)
+        self._n_running -= 1
+        self._n_failed += 1
+        kernel = self._kernel
+        stack = list(kernel.children(activation.id))
+        while stack:
+            node = stack.pop()
+            ac = kernel.activation(node)
+            if ac.state is ActivationState.LOCKED:
+                ac.transition(ActivationState.FAILED)
+                self._n_failed += 1
+                stack.extend(kernel.children(node))
+
+    def add_record(self, record: ActivationRecord) -> None:
+        self.records.append(record)
+        self._records_cache = None
+
+    # -- VM mutations ----------------------------------------------------
+
+    def vm_release(self, vm: Vm, activation_id: int) -> None:
+        vm.finish(activation_id)
+        self._vm_version += 1
+
+    def vm_touch(self) -> None:
+        """Invalidate the idle cache after a direct VM field mutation."""
+        self._vm_version += 1
+
+
+class SimulationContext:
+    """Read-only view of the simulation handed to schedulers."""
+
+    def __init__(self, kernel: "EpisodeKernel", state: EpisodeState) -> None:
+        self._kernel = kernel
+        self._state = state
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._state.now
+
+    @property
+    def workflow(self) -> Workflow:
+        """The (live) workflow DAG; do not mutate."""
+        return self._kernel.workflow
+
+    @property
+    def vms(self) -> Sequence[Vm]:
+        """The full fleet."""
+        return self._kernel.vms
+
+    @property
+    def ready_activations(self) -> Tuple[Activation, ...]:
+        """Activations currently in READY, ordered by id (cached view)."""
+        return self._state.ready_view()
+
+    @property
+    def idle_vms(self) -> Tuple[Vm, ...]:
+        """VMs that can accept an activation right now (cached view)."""
+        return self._state.idle_view()
+
+    @property
+    def records(self) -> Tuple[ActivationRecord, ...]:
+        """Completed activation records so far (cached view)."""
+        return self._state.records_view()
+
+    @property
+    def file_locations(self) -> Mapping[str, int]:
+        """Read-only file-name -> producing-VM-id placement map."""
+        return MappingProxyType(self._state.file_locations)
+
+    def ready_time(self, activation_id: int) -> float:
+        """When ``activation_id`` became READY (raises if it has not)."""
+        try:
+            return self._state.ready_time[activation_id]
+        except KeyError:
+            raise ValidationError(
+                f"activation {activation_id} has not become ready"
+            ) from None
+
+    def estimated_execution(self, activation: Activation, vm: Vm) -> float:
+        """Nominal compute estimate (no staging, no fluctuation)."""
+        return self._kernel.estimates.compute_time(activation, vm)
+
+    def estimated_stage_in(self, activation: Activation, vm: Vm) -> float:
+        """Staging estimate given current file placement."""
+        return self._kernel.stage_in_time(
+            activation, vm, self._state.file_locations
+        )
+
+    def vm_busy_time(self, vm_id: int) -> float:
+        """Cumulative busy seconds accrued by the VM."""
+        return self._state.busy_time.get(vm_id, 0.0)
+
+
+class EpisodeKernel:
+    """Immutable cross-episode simulation data plus the event loop.
+
+    Parameters
+    ----------
+    workflow:
+        The DAG.  The kernel takes a private copy at construction; the
+        caller's object is never mutated.  The copy's topology is frozen
+        for the kernel's lifetime — only activation states change, and
+        those are reset per episode.
+    vms:
+        The fleet.  VM runtime state is reset at the start of each
+        episode.
+    network / fluctuation / failures / migrations / revocations:
+        Environment models; defaults are shared-storage staging and
+        no-op stochastic models.
+    max_attempts:
+        Execution attempts per activation before it terminally fails.
+    horizon:
+        Hard simulated-time limit; exceeding it raises
+        :class:`SimulationError` (it indicates a deadlock or a
+        pathological schedule).
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        vms: Sequence[Vm],
+        *,
+        network: Optional[NetworkModel] = None,
+        fluctuation: Optional[FluctuationModel] = None,
+        failures: Optional[FailureModel] = None,
+        migrations: Optional[MigrationModel] = None,
+        revocations: Optional[RevocationModel] = None,
+        max_attempts: int = 1,
+        horizon: float = 1e6,
+    ) -> None:
+        if not vms:
+            raise ValidationError("fleet must contain at least one VM")
+        ids = [vm.id for vm in vms]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("VM ids must be unique")
+        if max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        self.workflow = workflow.copy()
+        self.vms: List[Vm] = list(vms)
+        self.vm_by_id: Dict[int, Vm] = {vm.id: vm for vm in self.vms}
+        self.network = network if network is not None else SharedStorageNetwork()
+        self.fluctuation = (
+            fluctuation if fluctuation is not None else NoFluctuation()
+        )
+        self.failures = failures if failures is not None else NoFailures()
+        self.migrations = (
+            migrations if migrations is not None else NoMigrations()
+        )
+        self.revocations = (
+            revocations if revocations is not None else NoRevocations()
+        )
+        self.max_attempts = int(max_attempts)
+        self.horizon = check_positive("horizon", horizon)
+
+        # frozen topology indexes (id -> sorted neighbour tuples)
+        wf = self.workflow
+        self._ac_by_id: Dict[int, Activation] = {
+            ac.id: ac for ac in wf.activations
+        }
+        self.activations: Tuple[Activation, ...] = tuple(wf.activations)
+        self._children: Dict[int, Tuple[int, ...]] = {
+            i: tuple(wf.children(i)) for i in wf.activation_ids
+        }
+        self._parents: Dict[int, Tuple[int, ...]] = {
+            i: tuple(wf.parents(i)) for i in wf.activation_ids
+        }
+        self.entry_ids: Tuple[int, ...] = tuple(wf.entries())
+        self.initial_pred_count: Dict[int, int] = {
+            i: len(parents) for i, parents in self._parents.items()
+        }
+
+        # shared nominal estimates; staging fast path only for the exact
+        # SharedStorageNetwork (subclasses may override the formulas)
+        self._shared_staging = type(self.network) is SharedStorageNetwork
+        if self._shared_staging:
+            assert isinstance(self.network, SharedStorageNetwork)
+            self.estimates = NominalEstimateCache(
+                self.vms,
+                latency=self.network.latency,
+                upload_outputs=self.network.upload_outputs,
+            )
+        else:
+            self.estimates = NominalEstimateCache(self.vms)
+
+        self._state = EpisodeState(self)
+        self._ctx = SimulationContext(self, self._state)
+
+    # -- frozen-topology accessors ---------------------------------------
+
+    @property
+    def n_activations(self) -> int:
+        return len(self.activations)
+
+    def activation(self, activation_id: int) -> Activation:
+        """The kernel's activation with the given id."""
+        try:
+            return self._ac_by_id[activation_id]
+        except KeyError:
+            raise ValidationError(
+                f"unknown activation {activation_id} in workflow "
+                f"{self.workflow.name!r}"
+            ) from None
+
+    def children(self, activation_id: int) -> Tuple[int, ...]:
+        """Direct successor ids, sorted (precomputed)."""
+        return self._children[activation_id]
+
+    def parents(self, activation_id: int) -> Tuple[int, ...]:
+        """Direct predecessor ids, sorted (precomputed)."""
+        return self._parents[activation_id]
+
+    @property
+    def state(self) -> EpisodeState:
+        """The kernel's (single, reusable) episode state."""
+        return self._state
+
+    @property
+    def context(self) -> SimulationContext:
+        """The scheduler-facing view over this kernel's episode state."""
+        return self._ctx
+
+    # -- shared estimates ------------------------------------------------
+
+    def stage_in_time(
+        self,
+        activation: Activation,
+        vm: Vm,
+        file_locations: Dict[str, int],
+    ) -> float:
+        """Staging seconds under the kernel's network model.
+
+        Uses the memoized per-file terms when the model is the exact
+        :class:`SharedStorageNetwork` (bit-identical arithmetic);
+        delegates to the model otherwise.
+        """
+        if self._shared_staging:
+            return self.estimates.stage_in_time(activation, vm, file_locations)
+        return self.network.stage_in_time(activation, vm, file_locations)
+
+    def stage_out_time(self, activation: Activation, vm: Vm) -> float:
+        """Publishing seconds under the kernel's network model."""
+        if self._shared_staging:
+            return self.estimates.stage_out_time(activation, vm)
+        return self.network.stage_out_time(activation, vm)
+
+    def estimate_model(self) -> Any:
+        """A planning-time ``EstimateModel`` backed by this kernel's cache.
+
+        HEFT-style planners constructed with it share the kernel's
+        memoized per-(activation, vm) values instead of recomputing them.
+        Falls back to a default (uncached) model when the kernel's
+        network is not the shared-storage one the estimates mirror.
+        (Deferred import: ``repro.schedulers.base`` imports this package.)
+        """
+        from repro.schedulers.base import EstimateModel
+
+        if not self._shared_staging:
+            return EstimateModel()
+        return EstimateModel(
+            latency=self.estimates.latency,
+            upload_outputs=self.estimates.upload_outputs,
+            cache=self.estimates,
+        )
+
+    # -- hooks -----------------------------------------------------------
+
+    def _call_hook(self, scheduler: Any, name: str, *args: Any) -> None:
+        hook = getattr(scheduler, name, None)
+        if hook is not None:
+            hook(*args)
+
+    # -- the event loop --------------------------------------------------
+
+    def run_episode(self, scheduler: Any, seed: int) -> SimulationResult:
+        """Execute one episode to a terminal state and return the result.
+
+        Resets the episode state from ``seed`` at entry, so any residue
+        of a previous (even aborted) episode is erased; if *this*
+        episode raises, the shared workflow/fleet state is scrubbed back
+        to pristine before the exception propagates (robustness
+        satellite: a failing episode cannot corrupt the following one).
+        """
+        state = self._state
+        state.reset(int(seed))
+        completed = False
+        try:
+            result = self._run(scheduler)
+            completed = True
+            return result
+        finally:
+            if not completed:
+                state.scrub()
+
+    def _run(self, scheduler: Any) -> SimulationResult:
+        state = self._state
+        ctx = self._ctx
+        self._call_hook(scheduler, "on_simulation_start", ctx)
+        self._schedule_dispatch()
+
+        while True:
+            wf_state = state.workflow_state()
+            if wf_state in _TERMINAL_STATES:
+                break
+            event = state.queue.pop()
+            if event is None:
+                raise SimulationError(
+                    f"simulation deadlocked at t={state.now:.3f}: workflow "
+                    f"state {wf_state!r} with no pending events"
+                )
+            if event.time < state.now - 1e-9:
+                raise SimulationError("event time regressed (internal bug)")
+            state.now = max(state.now, event.time)
+            if state.now > self.horizon:
+                raise SimulationError(
+                    f"simulation exceeded horizon {self.horizon}"
+                )
+            self._handle(scheduler, event)
+
+        makespan = max(
+            (r.finish_time for r in state.records), default=state.now
+        )
+        result = SimulationResult(
+            workflow_name=self.workflow.name,
+            records=list(state.records),
+            makespan=makespan,
+            final_state=state.workflow_state(),
+            vms=list(self.vms),
+        )
+        self._call_hook(scheduler, "on_simulation_end", ctx, result)
+        return result
+
+    # -- event handling --------------------------------------------------
+
+    def _handle(self, scheduler: Any, event: Event) -> None:
+        state = self._state
+        if event.type is EventType.ACTIVATION_DONE:
+            self._complete(scheduler, event.payload)
+        elif event.type is EventType.DISPATCH:
+            state.dispatch_scheduled = False
+            self._dispatch_loop(scheduler)
+        elif event.type is EventType.VM_READY:
+            self._schedule_dispatch()
+        elif event.type is EventType.MIGRATION_START:
+            self._begin_migration(event.payload)
+        elif event.type is EventType.REVOCATION:
+            self._revoke(event.payload)
+        elif event.type is EventType.MIGRATION_END:
+            vm = self.vm_by_id[event.payload]
+            vm.migrating = False
+            state.vm_touch()
+            self._schedule_dispatch()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unhandled event type {event.type!r}")
+
+    def _schedule_dispatch(self) -> None:
+        state = self._state
+        if not state.dispatch_scheduled:
+            state.dispatch_scheduled = True
+            state.queue.schedule(state.now, EventType.DISPATCH)
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch_loop(self, scheduler: Any) -> None:
+        """Repeatedly ask the scheduler for actions while 'available'."""
+        state = self._state
+        while True:
+            if not state.has_ready():
+                return
+            if not state.idle_view():
+                return
+            decision = scheduler.select(self._ctx)
+            if decision is None:
+                return  # the "do nothing" action
+            activation_id, vm_id = decision
+            self._dispatch(scheduler, activation_id, vm_id)
+
+    def _dispatch(self, scheduler: Any, activation_id: int, vm_id: int) -> None:
+        state = self._state
+        ac = self.activation(activation_id)
+        vm = self.vm_by_id.get(vm_id)
+        if vm is None:
+            raise ValidationError(f"scheduler chose unknown VM {vm_id}")
+        if ac.state is not ActivationState.READY:
+            raise ValidationError(
+                f"scheduler chose activation {activation_id} in state "
+                f"{ac.state.name}, expected READY"
+            )
+        if not vm.is_idle(state.now):
+            raise ValidationError(
+                f"scheduler chose VM {vm_id} which is not idle at "
+                f"t={state.now:.3f}"
+            )
+
+        attempt = state.attempts.get(activation_id, 0)
+        stage_in = self.stage_in_time(ac, vm, state.file_locations)
+        factor = self.fluctuation.factor(
+            vm, state.now, state.busy_time[vm.id], state.rng_fluct
+        )
+        compute = self.estimates.compute_time(ac, vm) * factor
+        stage_out = self.stage_out_time(ac, vm)
+
+        fails = self.failures.attempt_fails(ac, vm, attempt, state.rng_fail)
+        if fails:
+            duration = stage_in + compute * self.failures.failure_runtime_fraction
+            outcome = "retry" if attempt + 1 < self.max_attempts else "failure"
+        else:
+            duration = stage_in + compute + stage_out
+            outcome = "success"
+
+        state.start_running(ac, vm)
+        pending = PendingExecution(
+            activation_id=activation_id,
+            vm_id=vm_id,
+            ready_time=state.ready_time[activation_id],
+            dispatch_time=state.now,
+            stage_in=stage_in,
+            exec_duration=duration,
+            planned_finish=state.now + duration,
+            attempt=attempt,
+            outcome=outcome,
+        )
+        pending.event = state.queue.schedule(
+            pending.planned_finish, EventType.ACTIVATION_DONE, pending
+        )
+        state.in_flight[activation_id] = pending
+        self._call_hook(scheduler, "on_dispatched", self._ctx, pending)
+
+    # -- completion ------------------------------------------------------
+
+    def _complete(self, scheduler: Any, pending: PendingExecution) -> None:
+        state = self._state
+        ac = self.activation(pending.activation_id)
+        vm = self.vm_by_id[pending.vm_id]
+        state.vm_release(vm, pending.activation_id)
+        del state.in_flight[pending.activation_id]
+        elapsed = state.now - pending.dispatch_time
+        state.busy_time[vm.id] += elapsed
+
+        if pending.outcome == "success":
+            for f in ac.outputs:
+                state.file_locations[f.name] = vm.id
+            record = ActivationRecord(
+                activation_id=ac.id,
+                activity=ac.activity,
+                vm_id=vm.id,
+                ready_time=pending.ready_time,
+                start_time=pending.dispatch_time,
+                finish_time=state.now,
+                stage_in_time=pending.stage_in,
+                attempts=pending.attempt + 1,
+                failed=False,
+            )
+            state.add_record(record)
+            state.finish_success(ac)
+            self._call_hook(
+                scheduler, "on_activation_finished", self._ctx, record
+            )
+        elif pending.outcome == "retry":
+            state.attempts[ac.id] = pending.attempt + 1
+            # re-queued; keeps its ready_time
+            state.make_ready(ac, was_running=True)
+        else:  # terminal failure
+            record = ActivationRecord(
+                activation_id=ac.id,
+                activity=ac.activity,
+                vm_id=vm.id,
+                ready_time=pending.ready_time,
+                start_time=pending.dispatch_time,
+                finish_time=state.now,
+                stage_in_time=pending.stage_in,
+                attempts=pending.attempt + 1,
+                failed=True,
+            )
+            state.add_record(record)
+            state.finish_failure(ac)
+            self._call_hook(
+                scheduler, "on_activation_finished", self._ctx, record
+            )
+
+        self._schedule_dispatch()
+
+    # -- revocation ------------------------------------------------------
+
+    def _revoke(self, vm_id: int) -> None:
+        """Permanently reclaim a spot VM; requeue its in-flight work."""
+        state = self._state
+        vm = self.vm_by_id.get(vm_id)
+        if vm is None:
+            return  # model produced a revocation for a VM not in this fleet
+        vm.available_at = float("inf")  # never idle again
+        state.vm_touch()
+        interrupted = [
+            p for p in state.in_flight.values() if p.vm_id == vm_id
+        ]
+        for pending in interrupted:
+            if pending.event is not None:
+                pending.event.cancel()
+            del state.in_flight[pending.activation_id]
+            state.vm_release(vm, pending.activation_id)
+            state.busy_time[vm.id] += state.now - pending.dispatch_time
+            # back to READY for rescheduling on a surviving VM; the
+            # original ready_time is kept so queue time reflects the loss
+            state.make_ready(
+                self.activation(pending.activation_id), was_running=True
+            )
+        self._schedule_dispatch()
+
+    # -- migration -------------------------------------------------------
+
+    def _begin_migration(self, window: MigrationWindow) -> None:
+        state = self._state
+        vm = self.vm_by_id.get(window.vm_id)
+        if vm is None:
+            return  # model generated a window for a VM not in this fleet
+        vm.migrating = True
+        state.vm_touch()
+        # Delay every in-flight execution on this VM by the downtime.
+        for pending in state.in_flight.values():
+            if pending.vm_id != vm.id:
+                continue
+            if pending.event is not None:
+                pending.event.cancel()
+            pending.planned_finish += window.downtime
+            pending.exec_duration += window.downtime
+            pending.event = state.queue.schedule(
+                pending.planned_finish, EventType.ACTIVATION_DONE, pending
+            )
+        state.queue.schedule(
+            state.now + window.downtime, EventType.MIGRATION_END, vm.id
+        )

@@ -51,7 +51,12 @@ class MigrationModel(abc.ABC):
 class NoMigrations(MigrationModel):
     """No live migrations occur."""
 
-    def windows(self, vms, horizon, rng):
+    def windows(
+        self,
+        vms: Sequence[Vm],
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> List[MigrationWindow]:
         return []
 
 
@@ -84,7 +89,12 @@ class PeriodicMigrations(MigrationModel):
             yield MigrationWindow(vm_id=vm.id, start=t, downtime=downtime)
             t += downtime + float(rng.exponential(self.mean_interval))
 
-    def windows(self, vms, horizon, rng):
+    def windows(
+        self,
+        vms: Sequence[Vm],
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> List[MigrationWindow]:
         check_positive("horizon", horizon)
         out: List[MigrationWindow] = []
         for vm in vms:

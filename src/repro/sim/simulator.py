@@ -1,14 +1,27 @@
-"""The workflow simulator: dependency tracking + event loop + dispatch.
+"""The workflow simulator facade over the episode kernel.
 
-:class:`WorkflowSimulator` plays the role of WorkflowSim's Workflow Engine
-and Clustering/Scheduler glue: it holds the activation state machine,
-advances simulated time through an :class:`~repro.sim.events.EventQueue`,
-and consults a scheduler object at every decision point — i.e. whenever
-the workflow is in the paper's *available* state (some activation READY
-and some VM idle).
+:class:`WorkflowSimulator` keeps the one-shot interface this repo grew up
+with — construct with a workflow, fleet and scheduler, call :meth:`run`
+— while the actual engine lives in :mod:`repro.sim.kernel`:
 
-The scheduler is duck-typed (see :class:`~repro.schedulers.base
-.OnlineScheduler` for the reference interface): the simulator calls
+- :class:`~repro.sim.kernel.EpisodeKernel` holds everything valid across
+  episodes (frozen DAG topology + index maps, the fleet, environment
+  models, shared nominal-estimate caches);
+- :class:`~repro.sim.kernel.EpisodeState` holds everything one episode
+  mutates, with an O(n) ``reset``;
+- the event loop drives both (see ``docs/architecture.md``).
+
+The facade builds one kernel at construction and replays it per
+:meth:`run` call with the fixed seed, so repeated runs are bit-identical
+— the same guarantee the pre-kernel simulator gave by rebuilding
+everything per run, now without the rebuild.  Hot loops that execute
+many episodes (the ReASSIgN learner, sweeps, ablations) skip the facade
+and call :meth:`~repro.sim.kernel.EpisodeKernel.run_episode` directly
+with per-episode seeds.
+
+The scheduler protocol is unchanged (see
+:class:`~repro.schedulers.base.OnlineScheduler` for the reference
+interface): the engine calls
 
 - ``on_simulation_start(ctx)`` once, before any dispatch;
 - ``select(ctx) -> (activation_id, vm_id) | None`` repeatedly while the
@@ -19,120 +32,36 @@ The scheduler is duck-typed (see :class:`~repro.schedulers.base
 - ``on_activation_finished(ctx, record)`` at each completion;
 - ``on_simulation_end(ctx, result)`` once.
 
-All hooks except ``select`` are optional.
+All hooks except ``select`` are optional.  ``SimulationContext``,
+``PendingExecution`` and ``SimulationError`` are re-exported here for
+compatibility with their historical import path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
-from repro.dag.activation import Activation, ActivationState
 from repro.dag.graph import Workflow
-from repro.sim.events import Event, EventQueue, EventType
-from repro.sim.failures import FailureModel, NoFailures
-from repro.sim.fluctuation import FluctuationModel, NoFluctuation
-from repro.sim.metrics import ActivationRecord, SimulationResult
-from repro.sim.migration import MigrationModel, NoMigrations
-from repro.sim.network import NetworkModel, SharedStorageNetwork
-from repro.sim.spot import NoRevocations, RevocationModel
+from repro.sim.failures import FailureModel
+from repro.sim.fluctuation import FluctuationModel
+from repro.sim.kernel import (
+    EpisodeKernel,
+    PendingExecution,
+    SimulationContext,
+    SimulationError,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.migration import MigrationModel
+from repro.sim.network import NetworkModel
+from repro.sim.spot import RevocationModel
 from repro.sim.vm import Vm
-from repro.util.rng import RngService
-from repro.util.validate import ValidationError, check_positive
 
-__all__ = ["SimulationContext", "WorkflowSimulator", "PendingExecution", "SimulationError"]
-
-
-class SimulationError(RuntimeError):
-    """Raised when a simulation cannot make progress (deadlock/horizon)."""
-
-
-@dataclass
-class PendingExecution:
-    """Bookkeeping for one in-flight execution attempt."""
-
-    activation_id: int
-    vm_id: int
-    ready_time: float
-    dispatch_time: float
-    stage_in: float
-    exec_duration: float  #: staging + compute + publish for this attempt
-    planned_finish: float
-    attempt: int
-    outcome: str  #: "success" | "retry" | "failure"
-    event: Optional[Event] = None
-
-    @property
-    def queue_time(self) -> float:
-        """``tf`` — how long the activation waited in READY."""
-        return self.dispatch_time - self.ready_time
-
-    @property
-    def planned_execution_time(self) -> float:
-        """``te`` — how long the attempt will occupy the VM."""
-        return self.exec_duration
-
-
-class SimulationContext:
-    """Read-only view of the simulation handed to schedulers."""
-
-    def __init__(self, sim: "WorkflowSimulator") -> None:
-        self._sim = sim
-
-    @property
-    def now(self) -> float:
-        """Current simulated time."""
-        return self._sim._now
-
-    @property
-    def workflow(self) -> Workflow:
-        """The (live) workflow DAG; do not mutate."""
-        return self._sim._wf
-
-    @property
-    def vms(self) -> Sequence[Vm]:
-        """The full fleet."""
-        return self._sim._vms
-
-    @property
-    def ready_activations(self) -> List[Activation]:
-        """Activations currently in READY, ordered by id."""
-        wf = self._sim._wf
-        return [wf.activation(i) for i in wf.ready_ids()]
-
-    @property
-    def idle_vms(self) -> List[Vm]:
-        """VMs that can accept an activation right now."""
-        now = self._sim._now
-        return [vm for vm in self._sim._vms if vm.is_idle(now)]
-
-    @property
-    def records(self) -> List[ActivationRecord]:
-        """Completed activation records so far."""
-        return list(self._sim._records)
-
-    def ready_time(self, activation_id: int) -> float:
-        """When ``activation_id`` became READY (raises if it has not)."""
-        try:
-            return self._sim._ready_time[activation_id]
-        except KeyError:
-            raise ValidationError(
-                f"activation {activation_id} has not become ready"
-            ) from None
-
-    def estimated_execution(self, activation: Activation, vm: Vm) -> float:
-        """Nominal compute estimate (no staging, no fluctuation)."""
-        return vm.execution_time(activation.runtime)
-
-    def estimated_stage_in(self, activation: Activation, vm: Vm) -> float:
-        """Staging estimate given current file placement."""
-        return self._sim._network.stage_in_time(
-            activation, vm, self._sim._file_locations
-        )
-
-    def vm_busy_time(self, vm_id: int) -> float:
-        """Cumulative busy seconds accrued by the VM."""
-        return self._sim._busy_time.get(vm_id, 0.0)
+__all__ = [
+    "SimulationContext",
+    "WorkflowSimulator",
+    "PendingExecution",
+    "SimulationError",
+]
 
 
 class WorkflowSimulator:
@@ -141,15 +70,15 @@ class WorkflowSimulator:
     Parameters
     ----------
     workflow:
-        The DAG to execute.  The simulator runs on a private copy, so the
-        caller's object is never mutated.
+        The DAG to execute.  The underlying kernel runs on a private
+        copy, so the caller's object is never mutated.
     vms:
         The fleet.  VM runtime state is reset at the start of each run.
     scheduler:
         Decision maker (see module docstring for the protocol).
-    network / fluctuation / failures / migrations:
+    network / fluctuation / failures / migrations / revocations:
         Environment models; defaults are shared-storage staging, no
-        fluctuation, no failures, no migrations.
+        fluctuation, no failures, no migrations, no revocations.
     seed:
         Root seed for this run's stochastic models.
     max_attempts:
@@ -164,7 +93,7 @@ class WorkflowSimulator:
         self,
         workflow: Workflow,
         vms: Sequence[Vm],
-        scheduler,
+        scheduler: Any,
         *,
         network: Optional[NetworkModel] = None,
         fluctuation: Optional[FluctuationModel] = None,
@@ -175,320 +104,29 @@ class WorkflowSimulator:
         max_attempts: int = 1,
         horizon: float = 1e6,
     ) -> None:
-        if not vms:
-            raise ValidationError("fleet must contain at least one VM")
-        ids = [vm.id for vm in vms]
-        if len(set(ids)) != len(ids):
-            raise ValidationError("VM ids must be unique")
-        if max_attempts < 1:
-            raise ValidationError("max_attempts must be >= 1")
-        self._source_workflow = workflow
-        self._vms = list(vms)
-        self._vm_by_id = {vm.id: vm for vm in self._vms}
+        self._kernel = EpisodeKernel(
+            workflow,
+            vms,
+            network=network,
+            fluctuation=fluctuation,
+            failures=failures,
+            migrations=migrations,
+            revocations=revocations,
+            max_attempts=max_attempts,
+            horizon=horizon,
+        )
         self._scheduler = scheduler
-        self._network = network if network is not None else SharedStorageNetwork()
-        self._fluctuation = fluctuation if fluctuation is not None else NoFluctuation()
-        self._failures = failures if failures is not None else NoFailures()
-        self._migrations = migrations if migrations is not None else NoMigrations()
-        self._revocations = revocations if revocations is not None else NoRevocations()
         self._seed = int(seed)
-        self._max_attempts = int(max_attempts)
-        self._horizon = check_positive("horizon", horizon)
 
-        # run state (initialized in run())
-        self._wf: Workflow = workflow
-        self._now = 0.0
-        self._queue = EventQueue()
-        self._records: List[ActivationRecord] = []
-        self._ready_time: Dict[int, float] = {}
-        self._attempts: Dict[int, int] = {}
-        self._busy_time: Dict[int, float] = {}
-        self._file_locations: Dict[str, int] = {}
-        self._in_flight: Dict[int, PendingExecution] = {}
-        self._dispatch_scheduled = False
-        self._ctx = SimulationContext(self)
-
-    # -- hooks ---------------------------------------------------------
-
-    def _call_hook(self, name: str, *args) -> None:
-        hook = getattr(self._scheduler, name, None)
-        if hook is not None:
-            hook(*args)
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def _reset(self) -> None:
-        self._wf = self._source_workflow.copy()
-        self._wf.reset_states()
-        self._now = 0.0
-        self._queue = EventQueue()
-        self._records = []
-        self._ready_time = {i: 0.0 for i in self._wf.ready_ids()}
-        self._attempts = {}
-        self._busy_time = {vm.id: 0.0 for vm in self._vms}
-        self._file_locations = {}
-        self._in_flight = {}
-        self._dispatch_scheduled = False
-
-        rng = RngService(self._seed)
-        self._rng_fluct = rng.stream("fluctuation")
-        self._rng_fail = rng.stream("failures")
-        self._rng_migr = rng.stream("migrations")
-        self._rng_revoke = rng.stream("revocations")
-
-        for vm in self._vms:
-            vm.reset()
-            boot = vm.type.boot_time
-            vm.available_at = boot
-            if boot > 0:
-                self._queue.schedule(boot, EventType.VM_READY, vm.id)
-
-        for window in self._migrations.windows(self._vms, self._horizon, self._rng_migr):
-            self._queue.schedule(window.start, EventType.MIGRATION_START, window)
-
-        for revocation in self._revocations.revocations(
-            self._vms, self._horizon, self._rng_revoke
-        ):
-            self._queue.schedule(
-                revocation.time, EventType.REVOCATION, revocation.vm_id
-            )
+    @property
+    def kernel(self) -> EpisodeKernel:
+        """The underlying episode kernel (reusable across episodes)."""
+        return self._kernel
 
     def run(self) -> SimulationResult:
-        """Execute the workflow to a terminal state and return the result."""
-        self._reset()
-        self._call_hook("on_simulation_start", self._ctx)
-        self._schedule_dispatch()
+        """Execute the workflow to a terminal state and return the result.
 
-        while True:
-            state = self._wf.workflow_state()
-            if state in ("successfully finished", "finished with failure"):
-                break
-            event = self._queue.pop()
-            if event is None:
-                raise SimulationError(
-                    f"simulation deadlocked at t={self._now:.3f}: workflow "
-                    f"state {state!r} with no pending events"
-                )
-            if event.time < self._now - 1e-9:
-                raise SimulationError("event time regressed (internal bug)")
-            self._now = max(self._now, event.time)
-            if self._now > self._horizon:
-                raise SimulationError(
-                    f"simulation exceeded horizon {self._horizon}"
-                )
-            self._handle(event)
-
-        makespan = max((r.finish_time for r in self._records), default=self._now)
-        result = SimulationResult(
-            workflow_name=self._wf.name,
-            records=list(self._records),
-            makespan=makespan,
-            final_state=self._wf.workflow_state(),
-            vms=list(self._vms),
-        )
-        self._call_hook("on_simulation_end", self._ctx, result)
-        return result
-
-    # -- event handling ------------------------------------------------------
-
-    def _handle(self, event: Event) -> None:
-        if event.type is EventType.ACTIVATION_DONE:
-            self._complete(event.payload)
-        elif event.type is EventType.DISPATCH:
-            self._dispatch_scheduled = False
-            self._dispatch_loop()
-        elif event.type is EventType.VM_READY:
-            self._schedule_dispatch()
-        elif event.type is EventType.MIGRATION_START:
-            self._begin_migration(event.payload)
-        elif event.type is EventType.REVOCATION:
-            self._revoke(event.payload)
-        elif event.type is EventType.MIGRATION_END:
-            vm = self._vm_by_id[event.payload]
-            vm.migrating = False
-            self._schedule_dispatch()
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unhandled event type {event.type!r}")
-
-    def _schedule_dispatch(self) -> None:
-        if not self._dispatch_scheduled:
-            self._dispatch_scheduled = True
-            self._queue.schedule(self._now, EventType.DISPATCH)
-
-    # -- dispatch ----------------------------------------------------------
-
-    def _dispatch_loop(self) -> None:
-        """Repeatedly ask the scheduler for actions while 'available'."""
-        while True:
-            ready = self._wf.ready_ids()
-            if not ready:
-                return
-            if not any(vm.is_idle(self._now) for vm in self._vms):
-                return
-            decision = self._scheduler.select(self._ctx)
-            if decision is None:
-                return  # the "do nothing" action
-            activation_id, vm_id = decision
-            self._dispatch(activation_id, vm_id)
-
-    def _dispatch(self, activation_id: int, vm_id: int) -> None:
-        ac = self._wf.activation(activation_id)
-        vm = self._vm_by_id.get(vm_id)
-        if vm is None:
-            raise ValidationError(f"scheduler chose unknown VM {vm_id}")
-        if ac.state is not ActivationState.READY:
-            raise ValidationError(
-                f"scheduler chose activation {activation_id} in state "
-                f"{ac.state.name}, expected READY"
-            )
-        if not vm.is_idle(self._now):
-            raise ValidationError(
-                f"scheduler chose VM {vm_id} which is not idle at t={self._now:.3f}"
-            )
-
-        attempt = self._attempts.get(activation_id, 0)
-        stage_in = self._network.stage_in_time(ac, vm, self._file_locations)
-        factor = self._fluctuation.factor(
-            vm, self._now, self._busy_time[vm.id], self._rng_fluct
-        )
-        compute = vm.execution_time(ac.runtime) * factor
-        stage_out = self._network.stage_out_time(ac, vm)
-
-        fails = self._failures.attempt_fails(ac, vm, attempt, self._rng_fail)
-        if fails:
-            duration = stage_in + compute * self._failures.failure_runtime_fraction
-            outcome = "retry" if attempt + 1 < self._max_attempts else "failure"
-        else:
-            duration = stage_in + compute + stage_out
-            outcome = "success"
-
-        ac.transition(ActivationState.RUNNING)
-        vm.start(activation_id)
-        pending = PendingExecution(
-            activation_id=activation_id,
-            vm_id=vm_id,
-            ready_time=self._ready_time[activation_id],
-            dispatch_time=self._now,
-            stage_in=stage_in,
-            exec_duration=duration,
-            planned_finish=self._now + duration,
-            attempt=attempt,
-            outcome=outcome,
-        )
-        pending.event = self._queue.schedule(
-            pending.planned_finish, EventType.ACTIVATION_DONE, pending
-        )
-        self._in_flight[activation_id] = pending
-        self._call_hook("on_dispatched", self._ctx, pending)
-
-    # -- completion ---------------------------------------------------------
-
-    def _complete(self, pending: PendingExecution) -> None:
-        ac = self._wf.activation(pending.activation_id)
-        vm = self._vm_by_id[pending.vm_id]
-        vm.finish(pending.activation_id)
-        del self._in_flight[pending.activation_id]
-        elapsed = self._now - pending.dispatch_time
-        self._busy_time[vm.id] += elapsed
-
-        if pending.outcome == "success":
-            ac.transition(ActivationState.FINISHED)
-            for f in ac.outputs:
-                self._file_locations[f.name] = vm.id
-            record = ActivationRecord(
-                activation_id=ac.id,
-                activity=ac.activity,
-                vm_id=vm.id,
-                ready_time=pending.ready_time,
-                start_time=pending.dispatch_time,
-                finish_time=self._now,
-                stage_in_time=pending.stage_in,
-                attempts=pending.attempt + 1,
-                failed=False,
-            )
-            self._records.append(record)
-            for child in self._wf.release_children(ac.id):
-                self._ready_time[child] = self._now
-            self._call_hook("on_activation_finished", self._ctx, record)
-        elif pending.outcome == "retry":
-            self._attempts[ac.id] = pending.attempt + 1
-            ac.transition(ActivationState.READY)  # re-queued, keeps ready_time
-        else:  # terminal failure
-            ac.transition(ActivationState.FAILED)
-            record = ActivationRecord(
-                activation_id=ac.id,
-                activity=ac.activity,
-                vm_id=vm.id,
-                ready_time=pending.ready_time,
-                start_time=pending.dispatch_time,
-                finish_time=self._now,
-                stage_in_time=pending.stage_in,
-                attempts=pending.attempt + 1,
-                failed=True,
-            )
-            self._records.append(record)
-            self._fail_descendants(ac.id)
-            self._call_hook("on_activation_finished", self._ctx, record)
-
-        self._schedule_dispatch()
-
-    def _fail_descendants(self, failed_id: int) -> None:
-        """Cascade failure to LOCKED descendants that can never run.
-
-        The paper's terminal predicate requires *no* activation left in
-        ready/locked/running; descendants of a failed activation would
-        otherwise stay LOCKED forever, so they are marked FAILED too.
+        Repeated calls replay the identical episode: the kernel's state
+        is reset from the same seed each time.
         """
-        stack = list(self._wf.children(failed_id))
-        while stack:
-            node = stack.pop()
-            ac = self._wf.activation(node)
-            if ac.state is ActivationState.LOCKED:
-                ac.transition(ActivationState.FAILED)
-                stack.extend(self._wf.children(node))
-
-    # -- revocation ----------------------------------------------------------
-
-    def _revoke(self, vm_id: int) -> None:
-        """Permanently reclaim a spot VM; requeue its in-flight work."""
-        vm = self._vm_by_id.get(vm_id)
-        if vm is None:
-            return  # model produced a revocation for a VM not in this fleet
-        vm.available_at = float("inf")  # never idle again
-        interrupted = [
-            p for p in self._in_flight.values() if p.vm_id == vm_id
-        ]
-        for pending in interrupted:
-            if pending.event is not None:
-                pending.event.cancel()
-            del self._in_flight[pending.activation_id]
-            vm.finish(pending.activation_id)
-            self._busy_time[vm.id] += self._now - pending.dispatch_time
-            # back to READY for rescheduling on a surviving VM; the
-            # original ready_time is kept so queue time reflects the loss
-            self._wf.activation(pending.activation_id).transition(
-                ActivationState.READY
-            )
-        self._schedule_dispatch()
-
-    # -- migration ----------------------------------------------------------
-
-    def _begin_migration(self, window) -> None:
-        vm = self._vm_by_id.get(window.vm_id)
-        if vm is None:
-            return  # model generated a window for a VM not in this fleet
-        vm.migrating = True
-        # Delay every in-flight execution on this VM by the downtime.
-        for pending in self._in_flight.values():
-            if pending.vm_id != vm.id:
-                continue
-            if pending.event is not None:
-                pending.event.cancel()
-            pending.planned_finish += window.downtime
-            pending.exec_duration += window.downtime
-            pending.event = self._queue.schedule(
-                pending.planned_finish, EventType.ACTIVATION_DONE, pending
-            )
-        self._queue.schedule(
-            self._now + window.downtime, EventType.MIGRATION_END, vm.id
-        )
+        return self._kernel.run_episode(self._scheduler, self._seed)

@@ -54,7 +54,12 @@ class RevocationModel(abc.ABC):
 class NoRevocations(RevocationModel):
     """On-demand fleet: nothing is reclaimed."""
 
-    def revocations(self, vms, horizon, rng):
+    def revocations(
+        self,
+        vms: Sequence[Vm],
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> List[Revocation]:
         return []
 
 
@@ -88,7 +93,12 @@ class PoissonRevocations(RevocationModel):
             raise ValueError("protect_last must be >= 1")
         self.protect_last = int(protect_last)
 
-    def revocations(self, vms, horizon, rng):
+    def revocations(
+        self,
+        vms: Sequence[Vm],
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> List[Revocation]:
         vms = sorted(vms, key=lambda v: v.id)
         n_spot = min(
             int(round(len(vms) * self.spot_fraction)),

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.sim.metrics import SimulationResult
+from repro.sim.metrics import ActivationRecord, SimulationResult
 
 __all__ = ["gantt_text"]
 
@@ -42,13 +42,13 @@ def gantt_text(result: SimulationResult, width: int = 100) -> str:
     scale = width / makespan
 
     # Assign records to display lanes per VM (interval graph colouring).
-    by_vm: Dict[int, List] = {}
+    by_vm: Dict[int, List[ActivationRecord]] = {}
     for record in sorted(result.records, key=lambda r: (r.vm_id, r.start_time)):
         by_vm.setdefault(record.vm_id, []).append(record)
 
     lines = [f"Gantt of {result.workflow_name!r}  makespan={makespan:.2f}s"]
     for vm_id in sorted(by_vm):
-        lanes: List[List] = []
+        lanes: List[List[ActivationRecord]] = []
         for record in by_vm[vm_id]:
             placed = False
             for lane in lanes:

@@ -11,7 +11,7 @@ DAGs × random fleets × hostile environments.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dag.graph import Workflow
 from repro.sim.metrics import SimulationResult
@@ -96,7 +96,7 @@ def validate_result(
                 )
 
     # -- capacity -------------------------------------------------------------
-    events = []
+    events: List[Tuple[float, int, int, int]] = []
     for r in result.records:
         events.append((r.start_time, 1, r.vm_id, r.activation_id))
         events.append((r.finish_time, -1, r.vm_id, r.activation_id))

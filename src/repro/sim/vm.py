@@ -20,7 +20,7 @@ activations on the 2xlarge VM.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Set
 
 from repro.util.validate import ValidationError, check_non_negative, check_positive
 
@@ -87,7 +87,7 @@ class Vm:
             raise ValidationError(f"vm id must be >= 0, got {vm_id}")
         self.id = vm_id
         self.type = vm_type
-        self.running: set = set()  #: activation ids currently executing
+        self.running: Set[int] = set()  #: activation ids currently executing
         self.available_at: float = 0.0  #: booted / post-migration time
         self.migrating: bool = False
 
@@ -175,7 +175,7 @@ def as_single_slot(vms: Sequence[Vm]) -> List[Vm]:
     ReASSIgN therefore learns on this view; the full vCPU capacity is
     exploited again at execution time (SCCore runs one slave per vCPU).
     """
-    out = []
+    out: List[Vm] = []
     for vm in vms:
         t = vm.type
         single = VmType(

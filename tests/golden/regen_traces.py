@@ -1,0 +1,201 @@
+"""Builders and regeneration entry point for the golden trace fixtures.
+
+``tests/golden/`` freezes more than plans: the files written here pin the
+*per-activation traces* and *per-episode learning records* of reference
+runs, so an engine refactor can be proven bit-identical, not just
+plan-identical.  ``tests/test_kernel_equivalence.py`` imports the builders
+in this module and compares their output against the frozen JSON.
+
+The fixtures cover four behaviourally distinct regimes:
+
+- ``montage50_heft_trace.json`` — a plan-following replay of the golden
+  HEFT plan under the learning-environment fluctuation model (the
+  deterministic burst-throttle), exercising the static-plan path.
+- ``montage50_reassign_episodes.json`` — the golden ReASSIgN learner's
+  full per-episode history (makespans, rewards, assignments), exercising
+  the Q-learning hot path across episodes.
+- ``montage25_noisy_trace.json`` — two online-scheduler runs through the
+  stochastic models: one with Gaussian fluctuation + Bernoulli failures +
+  periodic migrations (retry and migration event paths), one with spot
+  revocations (revocation path).  These pin the RNG stream derivations.
+- ``montage25_sweep_fingerprint.json`` — a reduced learning sweep
+  (workers=1), pinning the parallel runner's seed plumbing end to end.
+
+Regenerate (only after an *intentional* behaviour change) with::
+
+    PYTHONPATH=src python tests/golden/regen_traces.py
+
+and explain the drift in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+TRACE_FIXTURES = (
+    "montage50_heft_trace.json",
+    "montage50_reassign_episodes.json",
+    "montage25_noisy_trace.json",
+    "montage25_sweep_fingerprint.json",
+)
+
+
+def record_dict(rec: Any) -> Dict[str, Any]:
+    """Full field dump of an ActivationRecord (floats kept exact)."""
+    return {
+        "activation_id": rec.activation_id,
+        "activity": rec.activity,
+        "vm_id": rec.vm_id,
+        "ready_time": rec.ready_time,
+        "start_time": rec.start_time,
+        "finish_time": rec.finish_time,
+        "stage_in_time": rec.stage_in_time,
+        "attempts": rec.attempts,
+        "failed": rec.failed,
+    }
+
+
+def result_dict(res: Any) -> Dict[str, Any]:
+    """Full field dump of a SimulationResult."""
+    return {
+        "workflow_name": res.workflow_name,
+        "makespan": res.makespan,
+        "final_state": res.final_state,
+        "records": [record_dict(r) for r in res.records],
+    }
+
+
+def build_heft_trace() -> Dict[str, Any]:
+    """Montage-50 HEFT replay under the learning-environment models."""
+    from repro.experiments.environments import fleet_for
+    from repro.schedulers.base import PlanFollowingScheduler
+    from repro.schedulers.heft import HeftScheduler
+    from repro.sim.fluctuation import BurstThrottleFluctuation
+    from repro.sim.simulator import WorkflowSimulator
+    from repro.workflows.montage import montage
+
+    wf = montage(50, seed=1)
+    fleet = fleet_for(16)
+    plan = HeftScheduler().plan(wf, fleet)
+    sim = WorkflowSimulator(
+        wf,
+        fleet,
+        PlanFollowingScheduler(plan),
+        fluctuation=BurstThrottleFluctuation(
+            credit_seconds=60.0, throttle_factor=2.0
+        ),
+        seed=0,
+    )
+    return result_dict(sim.run())
+
+
+def build_reassign_episodes() -> Dict[str, Any]:
+    """Per-episode history of the golden ReASSIgN learner configuration."""
+    from repro.core.reassign import ReassignLearner, ReassignParams
+    from repro.experiments.environments import fleet_for
+    from repro.workflows.montage import montage
+
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=5)
+    result = ReassignLearner(
+        montage(50, seed=1), fleet_for(16), params, seed=1
+    ).learn()
+    return {
+        "episodes": [e.to_dict() for e in result.episodes],
+        "simulated_makespan": result.simulated_makespan,
+        "simulated_learning_time": result.simulated_learning_time,
+        "plan": json.loads(result.plan.to_json()),
+    }
+
+
+def build_noisy_traces() -> Dict[str, Any]:
+    """Online runs through the stochastic model stack (RNG stream pins)."""
+    from repro.experiments.environments import fleet_for
+    from repro.schedulers.online import GreedyOnlineScheduler
+    from repro.sim.failures import BernoulliFailures
+    from repro.sim.fluctuation import GaussianFluctuation
+    from repro.sim.migration import PeriodicMigrations
+    from repro.sim.simulator import WorkflowSimulator
+    from repro.sim.spot import PoissonRevocations
+    from repro.workflows.montage import montage
+
+    noisy = WorkflowSimulator(
+        montage(25, seed=2),
+        fleet_for(16),
+        GreedyOnlineScheduler(),
+        fluctuation=GaussianFluctuation(sigma=0.2),
+        failures=BernoulliFailures(probability=0.15),
+        migrations=PeriodicMigrations(mean_interval=120.0),
+        max_attempts=5,
+        seed=7,
+    ).run()
+    spot = WorkflowSimulator(
+        montage(25, seed=2),
+        fleet_for(16),
+        GreedyOnlineScheduler(),
+        revocations=PoissonRevocations(
+            mean_lifetime=300.0, spot_fraction=0.5
+        ),
+        seed=11,
+    ).run()
+    return {"noisy": result_dict(noisy), "spot": result_dict(spot)}
+
+
+def build_sweep_fingerprint(workers: int = 1) -> Dict[str, Any]:
+    """Reduced-sweep fingerprints (the determinism-test shape, frozen)."""
+    from repro.experiments.sweeps import run_paper_sweep
+    from repro.workflows.montage import montage
+
+    sweep = run_paper_sweep(
+        workflow=montage(25, seed=1),
+        vcpu_fleets=(16,),
+        grid=(0.1, 1.0),
+        episodes=3,
+        seed=1,
+        workers=workers,
+        timing="simulated",
+    )
+    return {
+        str(vcpus): [
+            {
+                "alpha": rec.alpha,
+                "gamma": rec.gamma,
+                "epsilon": rec.epsilon,
+                "learning_time": rec.learning_time,
+                "simulated_makespan": rec.simulated_makespan,
+                "plan": json.loads(rec.result.plan.to_json()),
+            }
+            for rec in records
+        ]
+        for vcpus, records in sweep.records.items()
+    }
+
+
+BUILDERS = {
+    "montage50_heft_trace.json": build_heft_trace,
+    "montage50_reassign_episodes.json": build_reassign_episodes,
+    "montage25_noisy_trace.json": build_noisy_traces,
+    "montage25_sweep_fingerprint.json": build_sweep_fingerprint,
+}
+
+
+def normalize(obj: Any) -> Any:
+    """JSON round-trip, so built dicts compare equal to loaded fixtures."""
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def main() -> None:
+    for name, build in BUILDERS.items():
+        path = GOLDEN_DIR / name
+        path.write_text(
+            json.dumps(build(), sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

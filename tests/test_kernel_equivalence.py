@@ -1,0 +1,166 @@
+"""Golden-trace equivalence and episode-reuse guarantees of the kernel.
+
+The engine split (``docs/architecture.md``) promises three things, each
+pinned here with *exact* float equality — same seed, same machine
+arithmetic, same numbers:
+
+1. **Trace equivalence** — the refactored engine reproduces the frozen
+   pre-refactor traces bit for bit, across every behavioural regime the
+   fixtures cover (static-plan replay, Q-learning episodes, stochastic
+   retries/migrations/revocations, the parallel sweep plumbing).
+2. **Reuse equivalence** — running episodes through one reused
+   :class:`~repro.sim.kernel.EpisodeKernel` gives the same results as
+   rebuilding a fresh simulator per run, including under hypothesis-
+   generated seeds.
+3. **Scrub on failure** — an exception escaping mid-episode (a broken
+   scheduler, a deadlocked plan) leaves the kernel pristine: the next
+   ``run_episode`` is unaffected.
+
+If a change *intentionally* alters traces, regenerate the fixtures
+(``PYTHONPATH=src python tests/golden/regen_traces.py``, see
+``docs/runner.md``) and explain the drift in the commit message.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.environments import fleet_for
+from repro.schedulers.online import GreedyOnlineScheduler
+from repro.sim.failures import BernoulliFailures
+from repro.sim.fluctuation import GaussianFluctuation
+from repro.sim.kernel import EpisodeKernel, SimulationError
+from repro.sim.simulator import WorkflowSimulator
+from repro.workflows.montage import montage
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "regen_traces", GOLDEN / "regen_traces.py"
+)
+regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(regen)
+
+
+def load(name):
+    return json.loads((GOLDEN / name).read_text(encoding="utf-8"))
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("fixture", regen.TRACE_FIXTURES)
+    def test_fixture_exact(self, fixture):
+        built = regen.normalize(regen.BUILDERS[fixture]())
+        assert built == load(fixture), (
+            f"{fixture} drifted from the frozen pre-refactor trace"
+        )
+
+    def test_sweep_fingerprint_worker_invariant(self):
+        # the frozen fingerprint was produced with workers=1; a parallel
+        # run must land on the identical bytes (runner seed plumbing)
+        built = regen.normalize(regen.build_sweep_fingerprint(workers=4))
+        assert built == load("montage25_sweep_fingerprint.json")
+
+
+def _noisy_kernel():
+    return EpisodeKernel(
+        montage(25, seed=2),
+        fleet_for(16),
+        fluctuation=GaussianFluctuation(sigma=0.2),
+        failures=BernoulliFailures(probability=0.15),
+        max_attempts=5,
+    )
+
+
+def _noisy_facade(seed):
+    return WorkflowSimulator(
+        montage(25, seed=2),
+        fleet_for(16),
+        GreedyOnlineScheduler(),
+        fluctuation=GaussianFluctuation(sigma=0.2),
+        failures=BernoulliFailures(probability=0.15),
+        max_attempts=5,
+        seed=seed,
+    )
+
+
+class TestEpisodeReuse:
+    def test_facade_matches_kernel(self):
+        via_facade = _noisy_facade(9).run()
+        via_kernel = _noisy_kernel().run_episode(GreedyOnlineScheduler(), 9)
+        assert regen.result_dict(via_facade) == regen.result_dict(via_kernel)
+
+    def test_facade_rerun_is_identical(self):
+        sim = _noisy_facade(9)
+        assert regen.result_dict(sim.run()) == regen.result_dict(sim.run())
+
+    def test_different_seeds_differ(self):
+        kernel = _noisy_kernel()
+        scheduler = GreedyOnlineScheduler()
+        a = kernel.run_episode(scheduler, 9)
+        b = kernel.run_episode(scheduler, 10)
+        assert regen.result_dict(a) != regen.result_dict(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_reused_kernel_matches_fresh_kernel(self, seed, reused_kernel):
+        # the reused kernel has run arbitrarily many episodes before this
+        # one; a fresh kernel runs it first — results must agree exactly
+        scheduler = GreedyOnlineScheduler()
+        fresh = _noisy_kernel().run_episode(scheduler, seed)
+        reused = reused_kernel.run_episode(scheduler, seed)
+        assert regen.result_dict(fresh) == regen.result_dict(reused)
+
+    @pytest.fixture(scope="class")
+    def reused_kernel(self):
+        return _noisy_kernel()
+
+
+class _DoNothingScheduler(GreedyOnlineScheduler):
+    """Always picks the paper's *do nothing* action (deadlocks)."""
+
+    def select(self, ctx):
+        return None
+
+
+class _ExplodingScheduler(GreedyOnlineScheduler):
+    """Greedy until the Nth decision point, then raises."""
+
+    def __init__(self, explode_after=3):
+        super().__init__()
+        self.explode_after = explode_after
+        self.calls = 0
+
+    def select(self, ctx):
+        self.calls += 1
+        if self.calls > self.explode_after:
+            raise RuntimeError("scheduler blew up mid-episode")
+        return super().select(ctx)
+
+
+class TestScrubOnFailure:
+    def test_exception_propagates(self):
+        kernel = _noisy_kernel()
+        with pytest.raises(RuntimeError, match="blew up"):
+            kernel.run_episode(_ExplodingScheduler(), 9)
+
+    def test_kernel_pristine_after_scheduler_crash(self):
+        kernel = _noisy_kernel()
+        with pytest.raises(RuntimeError):
+            kernel.run_episode(_ExplodingScheduler(), 9)
+        after_crash = kernel.run_episode(GreedyOnlineScheduler(), 9)
+        fresh = _noisy_kernel().run_episode(GreedyOnlineScheduler(), 9)
+        assert regen.result_dict(after_crash) == regen.result_dict(fresh)
+
+    def test_kernel_pristine_after_simulation_error(self):
+        # a scheduler that never dispatches deadlocks the event loop,
+        # raising SimulationError from inside _run; the kernel must
+        # still come back clean for the next episode
+        kernel = _noisy_kernel()
+        with pytest.raises(SimulationError, match="deadlocked"):
+            kernel.run_episode(_DoNothingScheduler(), 9)
+        after = kernel.run_episode(GreedyOnlineScheduler(), 9)
+        fresh = _noisy_kernel().run_episode(GreedyOnlineScheduler(), 9)
+        assert regen.result_dict(after) == regen.result_dict(fresh)

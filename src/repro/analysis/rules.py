@@ -1,4 +1,4 @@
-"""The reprolint rule set (RL001–RL006).
+"""The reprolint rule set (RL001–RL007).
 
 Each rule is a small AST pass over one file.  Rules receive a
 :class:`FileContext` — the parsed tree plus an import-alias map and a
@@ -17,7 +17,11 @@ reads (RL002), unordered-set iteration (RL003), unpicklable task
 functions (RL004), backwards simulated time (RL005) and unsorted
 directory listings (RL006) are exactly the defect classes that break
 that guarantee *silently* — the run completes, the numbers are just
-wrong.  ``docs/analysis.md`` documents each rule with examples.
+wrong.  RL007 is the one performance rule: it flags per-decision
+rebuilds of the ready × idle cross product that the simulation context
+already caches (``ctx.action_pairs``), the hot-loop regression class
+this codebase keeps re-fixing.  ``docs/analysis.md`` documents each
+rule with examples.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ __all__ = [
     "RuleRL004",
     "RuleRL005",
     "RuleRL006",
+    "RuleRL007",
 ]
 
 
@@ -599,6 +604,78 @@ class RuleRL006(Rule):
                 )
 
 
+# -- RL007: per-decision cross-product rebuilds --------------------------------
+
+#: The context views whose cross product ``SimulationContext.action_pairs``
+#: already caches (keyed on the ready/idle version counters).
+_CACHED_VIEW_ATTRS = {"ready_activations", "idle_vms"}
+
+
+class RuleRL007(Rule):
+    """No per-call list rebuilds of the cached ready × idle cross product.
+
+    ``SimulationContext.action_pairs`` hands out one interned tuple per
+    (ready, idle) configuration, invalidated by the state's version
+    counters.  A list comprehension that crosses ``ready_activations``
+    with ``idle_vms`` rebuilds that product from scratch on *every*
+    decision — exactly the hot-loop cost the cache removes — and, being
+    a fresh object each call, also defeats downstream identity-keyed
+    memoization (the Q-table's action-id slices).  Generator
+    expressions are exempt: they stream lazily and are typically used
+    for one-off membership/counting, not to materialize the product.
+    """
+
+    code = "RL007"
+    summary = "ready x idle cross product rebuilt per call; use ctx.action_pairs"
+
+    def applies(self, path: str) -> bool:
+        return in_subpackages(path, ("schedulers", "rl", "core"))
+
+    @staticmethod
+    def _view_aliases(tree: ast.Module) -> Dict[str, str]:
+        """Names assigned from ``<expr>.ready_activations`` / ``.idle_vms``."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr in _CACHED_VIEW_ATTRS
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases[target.id] = value.attr
+        return aliases
+
+    @staticmethod
+    def _view_of(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+        if isinstance(node, ast.Attribute) and node.attr in _CACHED_VIEW_ATTRS:
+            return node.attr
+        if isinstance(node, ast.Name):
+            return aliases.get(node.id)
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = self._view_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ListComp) or len(node.generators) < 2:
+                continue
+            views = {
+                view
+                for gen in node.generators
+                if (view := self._view_of(gen.iter, aliases)) is not None
+            }
+            if views >= _CACHED_VIEW_ATTRS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "list comprehension rebuilds the ready x idle cross "
+                    "product per call; read the cached "
+                    "'ctx.action_pairs' tuple instead",
+                )
+
+
 #: The default rule registry, in code order.
 ALL_RULES: Tuple[Rule, ...] = (
     RuleRL001(),
@@ -607,4 +684,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     RuleRL004(),
     RuleRL005(),
     RuleRL006(),
+    RuleRL007(),
 )

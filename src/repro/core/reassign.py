@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.episode import EpisodeRecord, LearningResult
 from repro.rl.environment import AVAILABLE, UNAVAILABLE
@@ -53,7 +53,7 @@ from repro.rl.reward import PerformanceReward
 from repro.schedulers.base import Decision, OnlineScheduler, SchedulingPlan
 from repro.sim.failures import FailureModel
 from repro.sim.fluctuation import BurstThrottleFluctuation, FluctuationModel
-from repro.sim.kernel import EpisodeKernel, PendingExecution
+from repro.sim.kernel import EpisodeKernel, PendingExecution, kernel_fingerprint
 from repro.sim.metrics import SimulationResult
 from repro.sim.migration import MigrationModel
 from repro.sim.network import NetworkModel
@@ -63,7 +63,33 @@ from repro.dag.graph import Workflow
 from repro.util.rng import RngService
 from repro.util.validate import ValidationError, check_probability
 
-__all__ = ["ReassignParams", "ReassignScheduler", "ReassignLearner"]
+__all__ = [
+    "ReassignParams",
+    "ReassignScheduler",
+    "ReassignLearner",
+    "SimulatedLearningClock",
+]
+
+
+class SimulatedLearningClock:
+    """Deterministic clock for ``ReassignLearner``'s learning-time metric.
+
+    Starts at 0.0 and advances only when told to (the learner advances it
+    by each episode's makespan), so ``learning_time`` becomes the total
+    *simulated* seconds spent learning — machine-independent and
+    bit-identical across serial/parallel runs, matching
+    :attr:`~repro.core.episode.LearningResult.simulated_learning_time`.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` simulated seconds."""
+        self._now += float(seconds)
+
+    def __call__(self) -> float:
+        return self._now
 
 
 @dataclass(frozen=True)
@@ -99,7 +125,12 @@ class ReassignParams:
     #: or "episode" (statistics reset each episode, keeping the crisp
     #: reward responsive — mitigates the stale-history lock-in that
     #: degrades late episodes on some workloads; see EXPERIMENTS.md)
-    reward_memory: str = "full" 
+    reward_memory: str = "full"
+    #: Q-table storage backend: "array" (interned dense fast path) or
+    #: "dict" (legacy sparse table).  Bit-identical results either way;
+    #: the dict path is kept as an escape hatch and as the reference the
+    #: equivalence suite checks against (see docs/performance.md).
+    qtable_backend: str = "array"
 
     def __post_init__(self) -> None:
         check_probability("alpha", self.alpha)
@@ -120,6 +151,10 @@ class ReassignParams:
         if self.reward_memory not in ("full", "episode"):
             raise ValidationError(
                 f"reward_memory must be full/episode, got {self.reward_memory!r}"
+            )
+        if self.qtable_backend not in ("array", "dict"):
+            raise ValidationError(
+                f"qtable_backend must be array/dict, got {self.qtable_backend!r}"
             )
 
     def label(self) -> str:
@@ -157,13 +192,18 @@ class ReassignScheduler(OnlineScheduler):
         self.qtable = (
             qtable
             if qtable is not None
-            else QTable(init_scale=params.qtable_init_scale, seed=seed)
+            else QTable(
+                init_scale=params.qtable_init_scale,
+                seed=seed,
+                backend=params.qtable_backend,
+            )
         )
         if params.rule == "doubleq":
             # the behaviour policy reads Q_A + Q_B; updates flip a coin
             self._qtable_b = QTable(
                 init_scale=params.qtable_init_scale,
                 seed=RngService(seed).spawn_seed("qtable-b"),
+                backend=params.qtable_backend,
             )
             self._coin = RngService(seed).stream("doubleq-coin")
         else:
@@ -207,11 +247,14 @@ class ReassignScheduler(OnlineScheduler):
     # -- the MDP view ---------------------------------------------------------
 
     @staticmethod
-    def _enumerate_actions(ctx: SimulationContext) -> List[Decision]:
-        """The k x m schedule actions available right now."""
-        ready = ctx.ready_activations
-        idle = ctx.idle_vms
-        return [(ac.id, vm.id) for ac in ready for vm in idle]
+    def _enumerate_actions(ctx: SimulationContext) -> Sequence[Decision]:
+        """The k x m schedule actions available right now.
+
+        The context's cached cross product: the same tuple object comes
+        back until the ready or idle set changes, so the Q-table's
+        action-id memo hits instead of re-interning every pair.
+        """
+        return ctx.action_pairs
 
     def _available_label(self, ctx: SimulationContext) -> str:
         """The (possibly progress-bucketed) available-state label."""
@@ -219,7 +262,7 @@ class ReassignScheduler(OnlineScheduler):
         if buckets <= 1:
             return AVAILABLE
         total = len(ctx.workflow)
-        done = sum(1 for r in ctx.records if not r.failed)
+        done = ctx.n_finished  # O(1) counter; == non-failed record count
         bucket = min(buckets - 1, int(buckets * done / max(total, 1)))
         return f"{AVAILABLE}:p{bucket}"
 
@@ -362,6 +405,14 @@ class ReassignLearner:
         Custom reward model (e.g.
         :class:`~repro.rl.cost_reward.CostAwarePerformanceReward`);
         default is the paper's §III-B reward with the params' µ and ρ.
+    clock:
+        Zero-argument callable read at the start and end of
+        :meth:`learn` to produce ``learning_time``.  Defaults to
+        ``time.perf_counter`` (wall clock).  Pass a
+        :class:`SimulatedLearningClock` for a deterministic,
+        machine-independent metric: the learner advances it by each
+        episode's makespan, so ``learning_time`` equals
+        ``simulated_learning_time`` (``--timing simulated``).
     """
 
     def __init__(
@@ -380,6 +431,7 @@ class ReassignLearner:
         prior_history: Optional[List[Tuple[int, float, float]]] = None,
         single_slot_learning: bool = False,
         reward: Optional[PerformanceReward] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.workflow = workflow
         # The default learning fleet is pe-aware (a VM is "idle" while any
@@ -408,8 +460,19 @@ class ReassignLearner:
         # maps and nominal estimate caches are built once; each episode
         # only resets the O(n) mutable state (see docs/architecture.md).
         self._kernel: Optional[EpisodeKernel] = None
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.perf_counter
+        )
+        # duck-typed: only SimulatedLearningClock-style clocks advance
+        self._clock_advance: Optional[Callable[[float], None]] = getattr(
+            clock, "advance", None
+        )
         qtable = (
-            QTable.from_json(prior_qtable_json, seed=seed)
+            QTable.from_json(
+                prior_qtable_json,
+                seed=seed,
+                backend=self.params.qtable_backend,
+            )
             if prior_qtable_json
             else None
         )
@@ -419,13 +482,41 @@ class ReassignLearner:
         if prior_history:
             self.scheduler.reward.bootstrap(prior_history)
 
+    def kernel_fingerprint(self) -> Optional[str]:
+        """Structural digest of this learner's kernel configuration.
+
+        ``None`` when an environment model cannot be canonicalized —
+        worker-side kernel caching is then skipped for this learner
+        (see :func:`repro.sim.kernel.kernel_fingerprint`).
+        """
+        return kernel_fingerprint(self.workflow, self.vms, **self._sim_kwargs)
+
+    def _build_kernel(self) -> EpisodeKernel:
+        return EpisodeKernel(self.workflow, self.vms, **self._sim_kwargs)
+
     @property
     def kernel(self) -> EpisodeKernel:
-        """The learner's episode kernel (built lazily, reused per episode)."""
+        """The learner's episode kernel (built lazily, reused per episode).
+
+        Inside a parallel-runner worker executing a task that declared a
+        ``kernel_fingerprint``, the kernel comes from the worker's shared
+        cache instead of being rebuilt per task — guarded by recomputing
+        the fingerprint here, so a declared fingerprint that does not
+        match this learner's actual configuration is simply ignored.
+        Safe because ``run_episode`` resets all shared mutable state at
+        entry and scrubs it on exit.
+        """
         if self._kernel is None:
-            self._kernel = EpisodeKernel(
-                self.workflow, self.vms, **self._sim_kwargs
+            from repro.runner.parallel import (
+                active_kernel_fingerprint,
+                shared_kernel,
             )
+
+            declared = active_kernel_fingerprint()
+            if declared is not None and declared == self.kernel_fingerprint():
+                self._kernel = shared_kernel(declared, self._build_kernel)
+            else:
+                self._kernel = self._build_kernel()
         return self._kernel
 
     def learn(self) -> LearningResult:
@@ -442,11 +533,13 @@ class ReassignLearner:
         rng = RngService(self.seed)
         episodes: List[EpisodeRecord] = []
         last_result = None
-        started = time.perf_counter()
+        started = self._clock()
         for episode_idx in range(self.params.episodes):
             result = kernel.run_episode(
                 self.scheduler, rng.spawn_seed(f"episode:{episode_idx}")
             )
+            if self._clock_advance is not None:
+                self._clock_advance(result.makespan)
             last_result = result
             episodes.append(
                 EpisodeRecord(
@@ -459,7 +552,7 @@ class ReassignLearner:
                     assignment=result.assignment,
                 )
             )
-        learning_time = time.perf_counter() - started
+        learning_time = self._clock() - started
 
         # The paper submits "the generated final scheduling plan": the
         # schedule the final episode actually realized, whose makespan is

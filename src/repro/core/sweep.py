@@ -24,7 +24,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.episode import LearningResult
-from repro.core.reassign import ReassignLearner, ReassignParams
+from repro.core.reassign import (
+    ReassignLearner,
+    ReassignParams,
+    SimulatedLearningClock,
+)
 from repro.dag.graph import Workflow
 from repro.runner import ParallelRunner, Task
 from repro.runner.parallel import ProgressFn
@@ -77,8 +81,19 @@ def run_sweep_cell(payload: CellPayload, seed: int) -> SweepRecord:
     unpickle it.
     """
     workflow, vms, params, factory, timing = payload
-    factory = factory if factory is not None else default_learner_factory
-    learner = factory(workflow, vms, params, seed)
+    if factory is None:
+        # default cells route learning_time through the injectable clock:
+        # wall clock normally, the deterministic simulated clock under
+        # timing="simulated" (custom factories keep full control instead)
+        learner: Any = ReassignLearner(
+            workflow,
+            vms,
+            params,
+            seed=seed,
+            clock=SimulatedLearningClock() if timing == "simulated" else None,
+        )
+    else:
+        learner = factory(workflow, vms, params, seed)
     result = learner.learn()
     learning_time = (
         result.simulated_learning_time
@@ -124,6 +139,13 @@ def sweep_tasks(
         raise ValidationError(f"timing must be wall/simulated, got {timing!r}")
     tasks: List[Task] = []
     vms = list(vms)
+    # Every default cell builds the same (workflow, fleet, env-model)
+    # kernel, so declare its digest once and each pool worker will build
+    # that kernel at most once for the whole grid.  Custom factories may
+    # configure the environment arbitrarily, so no digest is declared.
+    fingerprint: Optional[str] = None
+    if learner_factory is None:
+        fingerprint = ReassignLearner(workflow, vms).kernel_fingerprint()
     for alpha in alphas:
         for gamma in gammas:
             for epsilon in epsilons:
@@ -141,6 +163,7 @@ def sweep_tasks(
                         fn=run_sweep_cell,
                         payload=(workflow, vms, params, learner_factory, timing),
                         seed=seed,
+                        kernel_fingerprint=fingerprint,
                     )
                 )
     return tasks

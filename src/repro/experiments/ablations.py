@@ -98,12 +98,16 @@ def run_reward_ablation(
 ) -> List[RewardAblationRow]:
     """Sweep µ and ρ; returns one row per combination (grid order)."""
     wf = workflow if workflow is not None else montage(50, seed=seed)
+    # every (µ, ρ) cell simulates the same workflow/fleet/environment, so
+    # workers sharing a kernel rebuild it once instead of once per cell
+    fingerprint = ReassignLearner(wf, fleet_for(vcpus)).kernel_fingerprint()
     tasks = [
         Task(
             key=("reward", mu, rho),
             fn=_reward_cell,
             payload=(wf, vcpus, mu, rho, episodes),
             seed=seed,
+            kernel_fingerprint=fingerprint,
         )
         for mu in mus
         for rho in rhos
@@ -159,6 +163,14 @@ def run_rule_ablation(
         ("qlearning", 0.1), ("sarsa", 0.1), ("doubleq", 0.1),
         ("random-exploration-only", 0.0),
     ]
+    # with an explicit workflow every arm shares one kernel config; with
+    # workflow=None each cell builds a per-seed montage in the worker, so
+    # there is no shared kernel to declare
+    fingerprint = (
+        ReassignLearner(workflow, fleet_for(vcpus)).kernel_fingerprint()
+        if workflow is not None
+        else None
+    )
     tasks = [
         Task(
             key=("rule", label, seed),
@@ -169,6 +181,7 @@ def run_rule_ablation(
                 epsilon,
             ),
             seed=seed,
+            kernel_fingerprint=fingerprint,
         )
         for label, epsilon in arms
         for seed in seeds
@@ -493,12 +506,18 @@ def run_state_ablation(
     Splitting it by workflow progress gives the value function something
     to condition on; the ablation measures whether that pays.
     """
+    fingerprint = (
+        ReassignLearner(workflow, fleet_for(vcpus)).kernel_fingerprint()
+        if workflow is not None
+        else None
+    )
     tasks = [
         Task(
             key=("state", n_buckets, seed),
             fn=_state_cell,
             payload=(workflow, vcpus, episodes, n_buckets),
             seed=seed,
+            kernel_fingerprint=fingerprint,
         )
         for n_buckets in buckets
         for seed in seeds

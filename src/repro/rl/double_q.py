@@ -20,10 +20,17 @@ __all__ = ["DoubleQAgent"]
 
 
 class _SumView(QTable):
-    """Read view exposing Q_A + Q_B to the action policy."""
+    """Read view exposing Q_A + Q_B to the action policy.
+
+    Runs on the dict backend on purpose: its reductions
+    (``max_value``/``best_action``) go through per-action ``value()``
+    calls, which is the seam this view overrides.  The array backend's
+    vectorized reductions read their own dense storage and would bypass
+    the override.
+    """
 
     def __init__(self, a: QTable, b: QTable) -> None:
-        super().__init__(init_scale=0.0)
+        super().__init__(init_scale=0.0, backend="dict")
         self._a = a
         self._b = b
 

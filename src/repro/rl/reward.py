@@ -25,6 +25,7 @@ constant-time regardless of history length.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Tuple
 
 from repro.util.stats import RunningStats
@@ -127,12 +128,25 @@ class PerformanceReward:
         )
 
     def index_std(self) -> float:
-        """``stdv`` — dispersion of per-VM average indices across VMs."""
-        spread = RunningStats()
+        """``stdv`` — dispersion of per-VM average indices across VMs.
+
+        Inlined Welford recurrence (the exact float-op order of
+        :meth:`repro.util.stats.RunningStats.push`, so the result is
+        bit-identical to pushing through a fresh accumulator): this runs
+        once per reward step, i.e. once per dispatched activation, and
+        is the hottest pure-Python loop in the learning path.
+        """
+        n = 0
+        mean = 0.0
+        m2 = 0.0
         for tracker in self._vms.values():
             if tracker.count:
-                spread.push(tracker.mean_index)
-        return spread.std if spread.count >= 2 else 0.0
+                x = tracker.mean_index
+                n += 1
+                delta = x - mean
+                mean += delta / n
+                m2 += delta * (x - mean)
+        return math.sqrt(m2 / n) if n >= 2 else 0.0
 
     def partial_reward(self, vm_id: int) -> float:
         """Crisp ``r_i`` (Eq. 6) for the VM's current history."""

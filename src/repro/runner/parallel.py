@@ -60,6 +60,10 @@ __all__ = [
     "canonical_key",
     "task_seed",
     "resolve_workers",
+    "active_kernel_fingerprint",
+    "shared_kernel",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
 ]
 
 #: ``fn(payload, seed) -> value`` — the task-function contract.
@@ -132,12 +136,24 @@ class Task:
     seed:
         Explicit seed.  ``None`` lets the runner derive one from
         ``(root seed, run id, key)``.
+    kernel_fingerprint:
+        Optional structural digest of the simulation kernel the task
+        will build (see :func:`repro.sim.kernel.kernel_fingerprint`).
+        While the task runs, the digest is visible to the task body via
+        :func:`active_kernel_fingerprint`; consumers that recognize it
+        (e.g. :class:`~repro.core.reassign.ReassignLearner`) fetch their
+        kernel from the worker's :func:`shared_kernel` cache, so a batch
+        of tasks against the same configuration builds the kernel at
+        most once per worker process instead of once per task.  Purely
+        an optimization hint: ``None`` (default) opts out, and results
+        are bit-identical either way.
     """
 
     key: Any
     fn: TaskFn
     payload: Any = None
     seed: Optional[int] = None
+    kernel_fingerprint: Optional[str] = None
 
 
 @dataclass
@@ -174,8 +190,74 @@ class RunnerError(RuntimeError):
         )
 
 
+# -- worker-side kernel cache ----------------------------------------------
+#
+# Module globals, so they live exactly as long as the worker process
+# (with the default ``fork`` context each worker starts with an empty
+# cache — the parent only ever *declares* fingerprints, it does not run
+# tasks).  Bounded FIFO: sweeps interleave at most a few distinct
+# configurations per batch.
+
+_KERNEL_CACHE_LIMIT = 4
+_KERNEL_CACHE: Dict[str, Any] = {}
+_KERNEL_CACHE_BUILDS = 0
+_KERNEL_CACHE_HITS = 0
+_ACTIVE_KERNEL_FINGERPRINT: Optional[str] = None
+
+
+def active_kernel_fingerprint() -> Optional[str]:
+    """The ``kernel_fingerprint`` declared by the currently running task.
+
+    ``None`` outside a task or when the task declared none.  Consumers
+    must treat the value as a *hint* and verify it against their own
+    recomputed fingerprint before adopting a shared kernel.
+    """
+    return _ACTIVE_KERNEL_FINGERPRINT
+
+
+def shared_kernel(fingerprint: str, builder: Callable[[], Any]) -> Any:
+    """This process's kernel for ``fingerprint``, building it on miss.
+
+    The cache is keyed purely by the structural digest, so a hit is
+    guaranteed to be a kernel an identically-configured task built.
+    """
+    global _KERNEL_CACHE_BUILDS, _KERNEL_CACHE_HITS
+    kernel = _KERNEL_CACHE.get(fingerprint)
+    if kernel is None:
+        kernel = builder()
+        if len(_KERNEL_CACHE) >= _KERNEL_CACHE_LIMIT:
+            _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
+        _KERNEL_CACHE[fingerprint] = kernel
+        _KERNEL_CACHE_BUILDS += 1
+    else:
+        _KERNEL_CACHE_HITS += 1
+    return kernel
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """This process's kernel-cache counters (for tests/diagnostics)."""
+    return {
+        "size": len(_KERNEL_CACHE),
+        "builds": _KERNEL_CACHE_BUILDS,
+        "hits": _KERNEL_CACHE_HITS,
+    }
+
+
+def clear_kernel_cache() -> None:
+    """Drop this process's cached kernels and reset the counters."""
+    global _KERNEL_CACHE_BUILDS, _KERNEL_CACHE_HITS
+    _KERNEL_CACHE.clear()
+    _KERNEL_CACHE_BUILDS = 0
+    _KERNEL_CACHE_HITS = 0
+
+
 def _execute_one(
-    index: int, key: Any, fn: TaskFn, payload: Any, seed: int
+    index: int,
+    key: Any,
+    fn: TaskFn,
+    payload: Any,
+    seed: int,
+    kernel_fingerprint: Optional[str] = None,
 ) -> TaskResult:
     """Run one task, capturing result/error and timing.
 
@@ -183,13 +265,17 @@ def _execute_one(
     pool workers — the determinism guarantee depends on there being no
     behavioural difference between the two.
     """
+    global _ACTIVE_KERNEL_FINGERPRINT
     started = time.perf_counter()
+    _ACTIVE_KERNEL_FINGERPRINT = kernel_fingerprint
     try:
         value = fn(payload, seed)
         error = None
     except Exception:  # noqa: BLE001 - reported via TaskResult
         value = None
         error = traceback.format_exc()
+    finally:
+        _ACTIVE_KERNEL_FINGERPRINT = None
     return TaskResult(
         key=key,
         index=index,
@@ -202,7 +288,7 @@ def _execute_one(
 
 
 def _execute_chunk(
-    chunk: List[Tuple[int, Any, TaskFn, Any, int]]
+    chunk: List[Tuple[int, Any, TaskFn, Any, int, Optional[str]]]
 ) -> List[TaskResult]:
     """Worker-side entry point: run a chunk of tasks back to back."""
     return [_execute_one(*item) for item in chunk]
@@ -274,7 +360,7 @@ class ParallelRunner:
 
     def _prepare(
         self, tasks: Sequence[Task]
-    ) -> List[Tuple[int, Any, TaskFn, Any, int]]:
+    ) -> List[Tuple[int, Any, TaskFn, Any, int, Optional[str]]]:
         seen: Dict[str, Any] = {}
         prepared = []
         for index, t in enumerate(tasks):
@@ -285,7 +371,9 @@ class ParallelRunner:
                 )
             seen[label] = t.key
             seed = t.seed if t.seed is not None else self.seed_for(t.key)
-            prepared.append((index, t.key, t.fn, t.payload, int(seed)))
+            prepared.append(
+                (index, t.key, t.fn, t.payload, int(seed), t.kernel_fingerprint)
+            )
         return prepared
 
     # -- execution -----------------------------------------------------------

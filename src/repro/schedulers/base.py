@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.dag.activation import Activation
 from repro.dag.graph import Workflow
@@ -271,16 +271,38 @@ class PlanFollowingScheduler(OnlineScheduler):
     def __init__(self, plan: SchedulingPlan) -> None:
         self.plan = plan
         self._rank = {ac: i for i, ac in enumerate(plan.priority)}
+        # derived views cached per (ready_version, idle_version) — the
+        # context's monotonic generation counters — so back-to-back
+        # decisions at the same instant skip the re-sort / set rebuild
+        self._ctx: Optional[SimulationContext] = None
+        self._ready_key: Optional[int] = None
+        self._ready_sorted: List[Any] = []
+        self._idle_key: Optional[int] = None
+        self._idle_ids: set = set()
 
     def on_simulation_start(self, ctx: SimulationContext) -> None:
         self.plan.validate_against(ctx.workflow, ctx.vms)
 
     def select(self, ctx: SimulationContext) -> Optional[Decision]:
-        ready = sorted(
-            ctx.ready_activations, key=lambda ac: self._rank.get(ac.id, 1 << 30)
-        )
-        idle_ids = {vm.id for vm in ctx.idle_vms}
-        for ac in ready:
+        if ctx is not self._ctx:
+            # new simulation context: its version counters are unrelated
+            # to the previous one's, so drop both caches
+            self._ctx = ctx
+            self._ready_key = None
+            self._idle_key = None
+        ready_key = getattr(ctx, "ready_version", None)
+        if ready_key is None or ready_key != self._ready_key:
+            self._ready_sorted = sorted(
+                ctx.ready_activations,
+                key=lambda ac: self._rank.get(ac.id, 1 << 30),
+            )
+            self._ready_key = ready_key
+        idle_key = getattr(ctx, "idle_version", None)
+        if idle_key is None or idle_key != self._idle_key:
+            self._idle_ids = {vm.id for vm in ctx.idle_vms}
+            self._idle_key = idle_key
+        idle_ids = self._idle_ids
+        for ac in self._ready_sorted:
             vm_id = self.plan.vm_of(ac.id)
             if vm_id in idle_ids:
                 return (ac.id, vm_id)

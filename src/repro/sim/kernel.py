@@ -32,6 +32,8 @@ touched at all.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from bisect import bisect_left, insort
 from dataclasses import dataclass
 from types import MappingProxyType
@@ -67,9 +69,17 @@ __all__ = [
     "PendingExecution",
     "SimulationContext",
     "SimulationError",
+    "kernel_fingerprint",
 ]
 
 _TERMINAL_STATES = ("successfully finished", "finished with failure")
+
+#: Cap on the content-addressed (ready, idle) -> pairs-tuple interner.
+#: A learning run on a mid-size workflow cycles through a few thousand
+#: distinct configurations; sizing the interner above that keeps the
+#: FIFO from thrashing (each entry is one small tuple of int pairs, so
+#: worst-case memory stays in the low megabytes).
+_PAIRS_INTERN_LIMIT = 4096
 
 
 class SimulationError(RuntimeError):
@@ -136,6 +146,25 @@ class EpisodeState:
         self._vm_version = 0
         self._idle_key: Optional[Tuple[float, int]] = None
         self._idle_cache: Tuple[Vm, ...] = ()
+        # monotonic generation counters for the ready/idle *contents*.
+        # They only ever increase (never reset — schedulers cache across
+        # episodes keyed on them), and _idle_version bumps only when the
+        # rebuilt idle tuple actually differs, so a pure time step does
+        # not invalidate downstream (ready, idle) cross-product caches.
+        self._ready_version = 0
+        self._idle_version = 0
+        self._pairs_key: Optional[Tuple[int, int]] = None
+        self._pairs_cache: Tuple[Tuple[int, int], ...] = ()
+        # content-addressed pairs interner: (ready ids, idle ids) ->
+        # the cross-product tuple.  Episodes revisit the same handful of
+        # configurations, and returning the *same object* lets
+        # identity-keyed downstream caches (the Q-table's action-id
+        # memo) hit across dispatches and episodes.  Deliberately
+        # survives scrub(): content keys are generation-independent.
+        self._pairs_interned: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]],
+            Tuple[Tuple[int, int], ...],
+        ] = {}
         # RNG streams, re-derived from the per-episode seed in reset()
         self.rng_fluct: np.random.Generator
         self.rng_fail: np.random.Generator
@@ -176,6 +205,12 @@ class EpisodeState:
         self._records_cache = None
         self._idle_key = None
         self._idle_cache = ()
+        # bump, never zero: version numbers must stay unique across
+        # episodes so cross-episode consumers can never see a stale hit
+        self._ready_version += 1
+        self._idle_version += 1
+        self._pairs_key = None
+        self._pairs_cache = ()
 
     def reset(self, seed: int) -> None:
         """Start a fresh episode: O(activations + VMs + scheduled windows).
@@ -256,9 +291,15 @@ class EpisodeState:
         if key != self._idle_key:
             self._idle_key = key
             now = self.now
-            self._idle_cache = tuple(
+            rebuilt = tuple(
                 vm for vm in self._kernel.vms if vm.is_idle(now)
             )
+            # content-compare before bumping: most time steps leave the
+            # idle set unchanged, and an unchanged set must not
+            # invalidate (ready, idle)-keyed caches downstream
+            if rebuilt != self._idle_cache:
+                self._idle_cache = rebuilt
+                self._idle_version += 1
         return self._idle_cache
 
     def records_view(self) -> Tuple[ActivationRecord, ...]:
@@ -270,6 +311,54 @@ class EpisodeState:
     def has_ready(self) -> bool:
         return bool(self._ready_ids)
 
+    @property
+    def ready_version(self) -> int:
+        """Monotonic generation counter of the READY set's contents."""
+        return self._ready_version
+
+    @property
+    def idle_version(self) -> int:
+        """Monotonic generation counter of the idle set's contents.
+
+        Refreshes the idle view first: idleness depends on simulated
+        time, so the counter is only meaningful for the current ``now``.
+        """
+        self.idle_view()
+        return self._idle_version
+
+    @property
+    def n_finished(self) -> int:
+        """Activations finished successfully so far (O(1))."""
+        return self._n_finished
+
+    def action_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The (activation_id, vm_id) ready x idle cross product.
+
+        Cached keyed on ``(ready_version, idle_version)``: the same
+        tuple object is handed out until either set's contents change,
+        so per-decision consumers (``ReassignScheduler``, the Q-table's
+        action-id memo) see a stable identity instead of a fresh list
+        build per call.
+        """
+        idle = self.idle_view()
+        key = (self._ready_version, self._idle_version)
+        if key != self._pairs_key:
+            self._pairs_key = key
+            content = (
+                tuple(self._ready_ids),
+                tuple(vm.id for vm in idle),
+            )
+            pairs = self._pairs_interned.get(content)
+            if pairs is None:
+                pairs = tuple(
+                    (ac.id, vm.id) for ac in self.ready_view() for vm in idle
+                )
+                if len(self._pairs_interned) >= _PAIRS_INTERN_LIMIT:
+                    self._pairs_interned.pop(next(iter(self._pairs_interned)))
+                self._pairs_interned[content] = pairs
+            self._pairs_cache = pairs
+        return self._pairs_cache
+
     # -- activation transitions ------------------------------------------
 
     def make_ready(self, activation: Activation, was_running: bool) -> None:
@@ -279,6 +368,7 @@ class EpisodeState:
         if was_running:
             self._n_running -= 1
         self._ready_cache = None
+        self._ready_version += 1
 
     def start_running(self, activation: Activation, vm: Vm) -> None:
         """READY -> RUNNING and occupy a slot on ``vm``."""
@@ -287,6 +377,7 @@ class EpisodeState:
         del self._ready_ids[idx]
         self._n_running += 1
         self._ready_cache = None
+        self._ready_version += 1
         vm.start(activation.id)
         self._vm_version += 1
 
@@ -313,6 +404,7 @@ class EpisodeState:
                 released.append(child_id)
         if released:
             self._ready_cache = None
+            self._ready_version += 1
             now = self.now
             for child_id in released:
                 self.ready_time[child_id] = now
@@ -383,6 +475,30 @@ class SimulationContext:
     def idle_vms(self) -> Tuple[Vm, ...]:
         """VMs that can accept an activation right now (cached view)."""
         return self._state.idle_view()
+
+    @property
+    def ready_version(self) -> int:
+        """Generation counter of :attr:`ready_activations`' contents."""
+        return self._state.ready_version
+
+    @property
+    def idle_version(self) -> int:
+        """Generation counter of :attr:`idle_vms`' contents."""
+        return self._state.idle_version
+
+    @property
+    def action_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """Cached (activation_id, vm_id) ready x idle cross product.
+
+        The same tuple object is returned until the ready or idle set
+        changes — schedulers can key identity-based caches on it.
+        """
+        return self._state.action_pairs()
+
+    @property
+    def n_finished(self) -> int:
+        """Activations finished successfully so far (O(1) counter)."""
+        return self._state.n_finished
 
     @property
     def records(self) -> Tuple[ActivationRecord, ...]:
@@ -855,3 +971,108 @@ class EpisodeKernel:
         state.queue.schedule(
             state.now + window.downtime, EventType.MIGRATION_END, vm.id
         )
+
+
+# -- kernel fingerprinting (worker-side kernel reuse) ---------------------
+
+
+def _canon(obj: object, depth: int = 0) -> Optional[object]:
+    """Conservative canonical form of an environment model's config.
+
+    Recurses through primitives, tuples/lists, string-keyed dicts and
+    plain-``__dict__`` objects; anything else (open handles, RNGs,
+    callables, ...) yields ``None``, which makes the whole fingerprint
+    ``None`` — i.e. "don't cache", never "cache wrongly".  Deliberately
+    avoids ``repr``/``hash``/``id``: those can embed memory addresses,
+    which would differ between the parent that declares a fingerprint
+    and the worker that recomputes it.
+    """
+    if depth > 6:
+        return None
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (tuple, list)):
+        items: List[object] = []
+        for element in obj:
+            canon = _canon(element, depth + 1)
+            if canon is None and element is not None:
+                return None
+            items.append(canon)
+        return items
+    if isinstance(obj, dict):
+        pairs: List[Tuple[str, object]] = []
+        for key, value in obj.items():
+            if not isinstance(key, (str, int, float, bool)):
+                return None
+            canon = _canon(value, depth + 1)
+            if canon is None and value is not None:
+                return None
+            pairs.append((str(key), canon))
+        pairs.sort(key=lambda kv: kv[0])
+        return pairs
+    fields = getattr(obj, "__dict__", None)
+    if isinstance(fields, dict):
+        canon = _canon(fields, depth + 1)
+        if canon is None:
+            return None
+        return [type(obj).__module__ + "." + type(obj).__qualname__, canon]
+    return None
+
+
+def kernel_fingerprint(
+    workflow: Workflow,
+    vms: Sequence[Vm],
+    *,
+    network: Optional[NetworkModel] = None,
+    fluctuation: Optional[FluctuationModel] = None,
+    failures: Optional[FailureModel] = None,
+    migrations: Optional[MigrationModel] = None,
+    revocations: Optional[RevocationModel] = None,
+    max_attempts: int = 1,
+    horizon: float = 1e6,
+) -> Optional[str]:
+    """Structural digest of an :class:`EpisodeKernel` configuration.
+
+    Two calls return the same string iff they would build equivalent
+    kernels: same workflow topology/runtimes/files, same fleet
+    (ids + VM types) and same environment-model configurations.  Returns
+    ``None`` when any model cannot be canonicalized — the parallel
+    runner then simply skips worker-side kernel caching for that task
+    (see ``docs/runner.md``).
+    """
+    parts: List[object] = [
+        workflow.name,
+        [
+            [
+                ac.id,
+                ac.activity,
+                ac.runtime,
+                [[f.name, f.size_bytes] for f in ac.inputs],
+                [[f.name, f.size_bytes] for f in ac.outputs],
+            ]
+            for ac in workflow.activations
+        ],
+        [[i, list(workflow.children(i))] for i in workflow.activation_ids],
+        [
+            [
+                vm.id,
+                vm.type.name,
+                vm.type.vcpus,
+                vm.type.speed,
+                vm.type.ram_gb,
+                vm.type.price_per_hour,
+                vm.type.bandwidth_mbps,
+                vm.type.boot_time,
+            ]
+            for vm in vms
+        ],
+        int(max_attempts),
+        float(horizon),
+    ]
+    for model in (network, fluctuation, failures, migrations, revocations):
+        canon = _canon(model)
+        if canon is None and model is not None:
+            return None
+        parts.append(canon)
+    payload = json.dumps(parts, sort_keys=True, separators=(",", ":"))
+    return "kernel:" + hashlib.sha256(payload.encode("utf-8")).hexdigest()

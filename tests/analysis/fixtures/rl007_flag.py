@@ -1,0 +1,13 @@
+"""RL007 fixture: per-call ready x idle rebuilds (must flag twice)."""
+
+
+def enumerate_actions(ctx):
+    return [
+        (ac.id, vm.id) for ac in ctx.ready_activations for vm in ctx.idle_vms
+    ]
+
+
+def enumerate_actions_aliased(ctx):
+    ready = ctx.ready_activations
+    idle = ctx.idle_vms
+    return [(ac.id, vm.id) for ac in ready for vm in idle]

@@ -1,0 +1,22 @@
+"""RL007 fixture: cached/streamed uses of the views (must pass)."""
+
+
+def enumerate_actions(ctx):
+    # the cached, version-invalidated cross product
+    return ctx.action_pairs
+
+
+def count_pairs(ctx):
+    # generator expressions stream; they do not materialize the product
+    return sum(1 for ac in ctx.ready_activations for vm in ctx.idle_vms)
+
+
+def single_views(ctx):
+    # single-generator comprehensions over one view are fine
+    ready_ids = [ac.id for ac in ctx.ready_activations]
+    idle_ids = [vm.id for vm in ctx.idle_vms]
+    return ready_ids, idle_ids
+
+
+def unrelated_product(xs, ys):
+    return [(x, y) for x in xs for y in ys]

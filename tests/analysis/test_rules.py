@@ -28,6 +28,7 @@ CASES = {
     "RL004": ("src/repro/experiments/fixture.py", 3),
     "RL005": ("src/repro/sim/fixture.py", 3),
     "RL006": ("src/repro/workflows/fixture.py", 3),
+    "RL007": ("src/repro/schedulers/fixture.py", 2),
 }
 
 
@@ -82,6 +83,19 @@ def test_rl003_scoped_to_ordering_sensitive_packages():
     assert [
         f.rule for f in analyze_source(source, "src/repro/schedulers/foo.py")
     ] == ["RL003"]
+
+
+def test_rl007_scoped_to_decision_loop_packages():
+    source = (
+        "def f(ctx):\n"
+        "    return [(a, v) for a in ctx.ready_activations"
+        " for v in ctx.idle_vms]\n"
+    )
+    assert analyze_source(source, "src/repro/sim/foo.py") == []
+    for pkg in ("schedulers", "rl", "core"):
+        assert [
+            f.rule for f in analyze_source(source, f"src/repro/{pkg}/foo.py")
+        ] == ["RL007"]
 
 
 def test_rl004_applies_everywhere_including_tests():

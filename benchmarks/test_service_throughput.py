@@ -1,0 +1,212 @@
+"""Service-throughput benchmark — shared-fleet multiplexing vs serial.
+
+Runs the streaming scheduler service over a bursty multi-tenant
+workload two ways with identical jobs and seeds:
+
+- **service path**: one :class:`~repro.service.timeline.FleetTimeline`
+  multiplexes every in-flight job over the shared fleet (the streaming
+  deployment);
+- **serial path**: each job gets the whole fleet to itself, one job at
+  a time — the one-job-per-cluster shape the one-shot simulator models.
+
+Two kinds of numbers come out:
+
+- **wall-clock scheduling throughput** (jobs/s and activations/s of
+  *simulator wall time*): how fast the service engine grinds through
+  decisions.  Absolute and machine-dependent — reported, asserted with
+  a generous floor in the full run, never guarded across machines.
+- **ratio / simulated metrics**: ``service_vs_serial_ratio`` (simulated
+  serial occupancy time / simulated service makespan — the
+  consolidation win from filling idle slots with other tenants' work)
+  and ``fleet_utilization``.  These are pure functions of the seed —
+  deterministic, machine-independent — and are the metrics
+  ``tools/bench_guard.py`` guards.
+
+Determinism check rides along: the service path must produce
+byte-identical metrics JSON on a repeat run before any number counts.
+Results go to ``results/service_throughput.md`` (prose) and
+``results/BENCH_service_throughput.json`` (machine-readable, guarded).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.service import (
+    PoissonArrivals,
+    SchedulerService,
+    ServiceConfig,
+    TraceArrivals,
+    default_tenants,
+)
+
+from conftest import save_artifact
+
+#: Arrival burst: jobs/s of *simulated* time — high enough that the
+#: fleet is contended and multiplexing matters.
+_RATE = 0.2
+_TENANTS = 3
+_POLICY = "fair"
+_VCPUS = 16
+
+
+def _arrivals(n_jobs, seed=42):
+    return PoissonArrivals(
+        _RATE,
+        default_tenants(_TENANTS, "montage", 20),
+        seed=seed,
+        max_jobs=n_jobs,
+    )
+
+
+def _service_path(arrivals, seed):
+    """One multiplexed service run; returns (result, wall seconds)."""
+    service = SchedulerService(
+        arrivals, ServiceConfig(vcpus=_VCPUS, policy=_POLICY), seed=seed
+    )
+    started = time.perf_counter()
+    result = service.run()
+    return result, time.perf_counter() - started
+
+
+def _serial_path(arrivals, seed):
+    """Each job alone on the fleet, back to back.
+
+    Returns the summed *simulated* occupancy (the time a dedicated
+    fleet would be held to drain the same jobs serially) and the wall
+    seconds spent simulating.
+    """
+    config = ServiceConfig(vcpus=_VCPUS, policy=_POLICY)
+    simulated = 0.0
+    started = time.perf_counter()
+    for job in arrivals.schedule():
+        solo = type(job)(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            workflow=job.workflow,
+            size=job.size,
+            arrival_time=0.0,
+            workflow_seed=job.workflow_seed,
+        )
+        result = SchedulerService(
+            TraceArrivals([solo]), config, seed=seed
+        ).run()
+        simulated += result.end_time
+    return simulated, time.perf_counter() - started
+
+
+def _render_note(n_jobs, result, service_wall, serial_sim, serial_wall,
+                 ratio):
+    jobs_per_sec = n_jobs / service_wall if service_wall > 0 else float("inf")
+    acts_per_sec = (
+        result.n_activations / service_wall
+        if service_wall > 0
+        else float("inf")
+    )
+    return "\n".join([
+        "# Service throughput (shared-fleet multiplexing)",
+        "",
+        f"- host cores: {os.cpu_count() or 1}",
+        f"- workload: {n_jobs} Montage-20 jobs, {_TENANTS} tenants, "
+        f"Poisson rate {_RATE}/s, policy {_POLICY}, {_VCPUS}-vCPU fleet",
+        f"- service path: {service_wall:.3f} s wall "
+        f"({jobs_per_sec:.1f} jobs/s, {acts_per_sec:.1f} activations/s "
+        "scheduled)",
+        f"- serial path: {serial_wall:.3f} s wall",
+        "",
+        "Simulated (machine-independent, deterministic per seed):",
+        f"- service makespan: {result.end_time:.1f} s simulated",
+        f"- serial fleet occupancy: {serial_sim:.1f} s simulated",
+        f"- consolidation ratio (serial/service): {ratio:.2f}x",
+        f"- fleet utilization: {100.0 * result.utilization():.1f}%",
+        f"- job latency: p50 {result.latency_percentile(50):.1f} s, "
+        f"p99 {result.latency_percentile(99):.1f} s",
+        "",
+        "The ratio metrics and utilization are guarded by",
+        "tools/bench_guard.py; wall-clock numbers measure the runner and",
+        "are reported only.",
+    ])
+
+
+def _bench_json(n_jobs, result, service_wall, serial_sim, serial_wall,
+                ratio):
+    jobs_per_sec = n_jobs / service_wall if service_wall > 0 else None
+    return json.dumps(
+        {
+            "benchmark": "service_throughput",
+            "workload": f"montage-20 x {n_jobs}",
+            "tenants": _TENANTS,
+            "policy": _POLICY,
+            "vcpus": _VCPUS,
+            "rate_jobs_per_sim_sec": _RATE,
+            "n_jobs": n_jobs,
+            "n_activations": result.n_activations,
+            "host_cores": os.cpu_count() or 1,
+            "service_wall_seconds": service_wall,
+            "scheduled_jobs_per_sec": jobs_per_sec,
+            "scheduled_activations_per_sec": (
+                result.n_activations / service_wall
+                if service_wall > 0
+                else None
+            ),
+            "serial_wall_seconds": serial_wall,
+            "service_simulated_makespan": result.end_time,
+            "serial_simulated_occupancy": serial_sim,
+            "service_vs_serial_ratio": ratio,
+            "fleet_utilization": result.utilization(),
+            "p50_latency": result.latency_percentile(50),
+            "p99_latency": result.latency_percentile(99),
+        },
+        indent=1,
+        sort_keys=True,
+    )
+
+
+def _run_and_record(results_dir, n_jobs):
+    arrivals = _arrivals(n_jobs)
+    result, service_wall = _service_path(arrivals, seed=42)
+    repeat, _ = _service_path(arrivals, seed=42)
+    assert result.to_json(include_jobs=True) == repeat.to_json(
+        include_jobs=True
+    ), "service run not deterministic — throughput numbers void"
+    serial_sim, serial_wall = _serial_path(arrivals, seed=42)
+    ratio = serial_sim / result.end_time if result.end_time > 0 else 0.0
+    save_artifact(
+        results_dir,
+        "service_throughput.md",
+        _render_note(n_jobs, result, service_wall, serial_sim,
+                     serial_wall, ratio),
+    )
+    save_artifact(
+        results_dir,
+        "BENCH_service_throughput.json",
+        _bench_json(n_jobs, result, service_wall, serial_sim,
+                    serial_wall, ratio),
+    )
+    return result, service_wall, ratio
+
+
+@pytest.mark.fast
+@pytest.mark.service
+def test_service_throughput_fast(results_dir):
+    """CI-sized run: multiplexing must beat serial fleet occupancy."""
+    result, _, ratio = _run_and_record(results_dir, n_jobs=20)
+    assert result.n_failed == 0
+    assert ratio > 1.0, (
+        f"shared-fleet multiplexing should consolidate: got {ratio:.2f}x"
+    )
+
+
+@pytest.mark.service
+def test_service_throughput_full(results_dir):
+    """Full-length run with the wall-clock scheduling-rate floor."""
+    result, service_wall, ratio = _run_and_record(results_dir, n_jobs=60)
+    assert result.n_failed == 0
+    assert ratio > 1.0
+    jobs_per_sec = 60 / service_wall
+    assert jobs_per_sec >= 200.0, (
+        f"service engine scheduled only {jobs_per_sec:.0f} jobs/s wall "
+        "(floor 200)"
+    )

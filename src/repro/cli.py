@@ -10,7 +10,10 @@ experiments can be driven without writing Python:
 - ``learn``     — run ReASSIgN (Algorithm 2) and print/save the plan;
 - ``pipeline``  — the full SciCumulus-RL pipeline (learn + execute on the
   simulated cloud, with provenance);
-- ``table``     — regenerate one of the paper's tables (1-5).
+- ``table``     — regenerate one of the paper's tables (1-5);
+- ``serve``     — the streaming multi-tenant scheduler service:
+  continuous (Poisson or trace-driven) job arrivals multiplexed over one
+  shared fleet, with throughput/utilization/latency metrics.
 """
 
 from __future__ import annotations
@@ -151,6 +154,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
     p.add_argument("--episodes", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
+    add_workers_arg(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the streaming multi-tenant scheduler service",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--policy", default="fifo",
+                   choices=("fifo", "fair", "deadline"))
+    p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
+    p.add_argument("--tenants", type=int, default=3,
+                   help="equal-weight tenant count (Poisson mode)")
+    p.add_argument("--jobs", type=int, default=20,
+                   help="total arrivals to generate (Poisson mode)")
+    p.add_argument("--rate", type=float, default=0.02,
+                   help="mean arrivals per simulated second (Poisson mode)")
+    p.add_argument("--workflow", default="montage",
+                   choices=available_workflows())
+    p.add_argument("--size", type=int, default=20,
+                   help="activations per job's DAG")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="relative deadline stamped on every job")
+    p.add_argument("--max-in-flight", type=int, default=None, metavar="N",
+                   help="admission-control cap on concurrent jobs")
+    p.add_argument("--horizon", type=float, default=1e9,
+                   help="hard simulated-time safety limit")
+    p.add_argument("--trace", metavar="PATH",
+                   help="replay this arrival-trace JSON instead of Poisson")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the generated arrival schedule here")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the metrics JSON (with per-job records) here")
+    p.add_argument("--replicas", type=int, default=1, metavar="N",
+                   help="independent derived-seed service runs")
     add_workers_arg(p)
 
     p = sub.add_parser("reproduce",
@@ -313,6 +350,101 @@ def _cmd_ensemble(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from repro.service import (
+        SchedulerService,
+        ServiceConfig,
+        load_trace,
+        reference_scenario,
+        run_service_replicas,
+        save_trace,
+    )
+
+    if args.trace:
+        arrivals = load_trace(args.trace)
+    else:
+        arrivals = reference_scenario(
+            seed=args.seed,
+            n_tenants=args.tenants,
+            n_jobs=args.jobs,
+            rate=args.rate,
+            workflow=args.workflow,
+            size=args.size,
+            relative_deadline=args.deadline,
+        )
+    if args.trace_out:
+        save_trace(arrivals.schedule(), args.trace_out)
+        print(f"wrote arrival trace to {args.trace_out}")
+    config = ServiceConfig(
+        vcpus=args.vcpus,
+        policy=args.policy,
+        max_in_flight=args.max_in_flight,
+        horizon=args.horizon,
+    )
+
+    if args.replicas > 1:
+        metrics = run_service_replicas(
+            args.replicas, arrivals, config,
+            seed=args.seed, workers=args.workers,
+        )
+        rows = []
+        for i, text in enumerate(metrics):
+            m = _json.loads(text)
+            rows.append((
+                i, m["n_jobs"], round(m["end_time"], 1),
+                round(m["utilization"], 3),
+                round(m["p50_latency"], 1), round(m["p99_latency"], 1),
+            ))
+        print(render_table(
+            ["replica", "jobs", "end [s]", "util", "p50 [s]", "p99 [s]"],
+            rows,
+            title=(f"Service replicas: policy={args.policy} "
+                   f"vcpus={args.vcpus} seed={args.seed}"),
+        ))
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(_json.dumps(
+                    [_json.loads(t) for t in metrics],
+                    sort_keys=True, indent=1,
+                ) + "\n")
+            print(f"wrote replica metrics to {args.metrics_out}")
+        return 0
+
+    result = SchedulerService(arrivals, config, seed=args.seed).run()
+    print(f"policy={args.policy} vcpus={args.vcpus} seed={args.seed} "
+          f"tenants={len(result.tenants)}")
+    print(f"jobs completed    = {result.n_jobs} "
+          f"({result.n_failed} failed)")
+    print(f"simulated horizon = {result.end_time:.1f}s "
+          f"({format_hms(result.end_time)})")
+    print(f"throughput        = {result.throughput_jobs():.4f} jobs/s, "
+          f"{result.throughput_activations():.2f} activations/s (simulated)")
+    print(f"fleet utilization = {100.0 * result.utilization():.1f}%")
+    print(f"job latency       = p50 {result.latency_percentile(50):.1f}s, "
+          f"p99 {result.latency_percentile(99):.1f}s, "
+          f"mean {result.mean_latency():.1f}s")
+    hit_rate = result.deadline_hit_rate()
+    if hit_rate is not None:
+        print(f"deadline hit rate = {100.0 * hit_rate:.1f}%")
+    tenant_rows = [
+        (name, int(stats["jobs"]),
+         round(stats.get("mean_latency", 0.0), 1),
+         round(stats.get("p99_latency", 0.0), 1))
+        for name, stats in result.tenant_summary().items()
+    ]
+    print(render_table(
+        ["tenant", "jobs", "mean latency [s]", "p99 latency [s]"],
+        tenant_rows,
+    ))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json(include_jobs=True) + "\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0 if result.n_failed == 0 else 1
+
+
 def _cmd_reproduce(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -331,6 +463,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "sweep": _cmd_sweep,
     "ensemble": _cmd_ensemble,
+    "serve": _cmd_serve,
     "reproduce": _cmd_reproduce,
 }
 

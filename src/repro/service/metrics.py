@@ -1,0 +1,235 @@
+"""Service-level metrics: per-job records and run aggregates.
+
+A service run produces one :class:`JobRecord` per submitted job and a
+:class:`ServiceResult` aggregating them into the operational metrics the
+ROADMAP names: throughput (jobs and activations per simulated second),
+fleet utilization, and p50/p99 job latency, plus per-tenant breakdowns
+for the fairness policies.
+
+Everything here is computed from *simulated* quantities only — no wall
+clock — so ``to_json()`` output is bit-identical across repeats of the
+same seeded run (the determinism contract in ``docs/service.md``).
+Percentiles use the nearest-rank method on a sorted copy: exact,
+interpolation-free, and stable across numpy versions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.validate import ValidationError
+
+__all__ = ["JobRecord", "ServiceResult", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    Deterministic and interpolation-free: the returned value is always
+    an element of ``values``.  Raises on an empty sequence.
+    """
+    if not values:
+        raise ValidationError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifecycle summary of one job through the service.
+
+    Times are simulated seconds.  ``admit_time`` is when the job left
+    the admission queue (equals ``arrival_time`` unless admission
+    control was saturated); ``first_dispatch_time`` is when its first
+    activation started executing; ``completion_time`` is when its last
+    activation finished (or when the job terminally failed).
+    """
+
+    job_id: int
+    tenant: str
+    workflow: str
+    size: int
+    arrival_time: float
+    admit_time: float
+    first_dispatch_time: float
+    completion_time: float
+    n_activations: int
+    failed: bool = False
+    deadline: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion seconds (queueing + execution)."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queue_latency(self) -> float:
+        """Arrival-to-first-dispatch seconds (admission + queueing)."""
+        return self.first_dispatch_time - self.arrival_time
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the deadline was met; ``None`` when the job has none."""
+        if self.deadline is None:
+            return None
+        return self.completion_time <= self.deadline
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready field dump plus derived latencies (floats exact)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "workflow": self.workflow,
+            "size": self.size,
+            "arrival_time": self.arrival_time,
+            "admit_time": self.admit_time,
+            "first_dispatch_time": self.first_dispatch_time,
+            "completion_time": self.completion_time,
+            "n_activations": self.n_activations,
+            "failed": self.failed,
+            "deadline": self.deadline,
+            "latency": self.latency,
+            "met_deadline": self.met_deadline,
+        }
+
+
+@dataclass
+class ServiceResult:
+    """Aggregate outcome of one service run.
+
+    Attributes
+    ----------
+    jobs:
+        One record per submitted job, ordered by ``job_id``.
+    end_time:
+        Simulated time of the last completion (the run's makespan).
+    vm_busy_time:
+        Cumulative busy seconds per VM id across all jobs.
+    vm_capacity:
+        Concurrent slots per VM id (vCPUs).
+    policy / seed:
+        Provenance of the run, echoed into the metrics JSON.
+    """
+
+    jobs: List[JobRecord]
+    end_time: float
+    vm_busy_time: Dict[int, float]
+    vm_capacity: Dict[int, int]
+    policy: str
+    seed: int
+    tenants: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.jobs = sorted(self.jobs, key=lambda r: r.job_id)
+        if not self.tenants:
+            self.tenants = sorted({r.tenant for r in self.jobs})
+
+    # -- aggregates -------------------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.jobs if r.failed)
+
+    @property
+    def n_activations(self) -> int:
+        return sum(r.n_activations for r in self.jobs)
+
+    def throughput_jobs(self) -> float:
+        """Completed jobs per simulated second."""
+        if self.end_time <= 0:
+            return 0.0
+        return self.n_jobs / self.end_time
+
+    def throughput_activations(self) -> float:
+        """Scheduled activations per simulated second."""
+        if self.end_time <= 0:
+            return 0.0
+        return self.n_activations / self.end_time
+
+    def utilization(self) -> float:
+        """Fleet-wide busy fraction of capacity-time over the run."""
+        capacity = sum(self.vm_capacity.values())
+        if capacity == 0 or self.end_time <= 0:
+            return 0.0
+        busy = sum(self.vm_busy_time.values())
+        return busy / (capacity * self.end_time)
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of job latencies."""
+        return percentile([r.latency for r in self.jobs], q)
+
+    def mean_latency(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(r.latency for r in self.jobs) / len(self.jobs)
+
+    def deadline_hit_rate(self) -> Optional[float]:
+        """Fraction of deadline-carrying jobs that met their deadline."""
+        with_deadline = [r for r in self.jobs if r.deadline is not None]
+        if not with_deadline:
+            return None
+        hits = sum(1 for r in with_deadline if r.met_deadline)
+        return hits / len(with_deadline)
+
+    def tenant_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant job counts and latency aggregates, name-sorted."""
+        out: Dict[str, Dict[str, float]] = {}
+        for tenant in sorted(self.tenants):
+            records = [r for r in self.jobs if r.tenant == tenant]
+            if not records:
+                out[tenant] = {"jobs": 0}
+                continue
+            latencies = [r.latency for r in records]
+            out[tenant] = {
+                "jobs": len(records),
+                "mean_latency": sum(latencies) / len(latencies),
+                "p50_latency": percentile(latencies, 50.0),
+                "p99_latency": percentile(latencies, 99.0),
+            }
+        return out
+
+    # -- serialization ----------------------------------------------------
+
+    def metrics_dict(self) -> Dict[str, Any]:
+        """The metrics-JSON schema (see ``docs/service.md``)."""
+        has_jobs = bool(self.jobs)
+        return {
+            "schema": "repro.service.metrics/v1",
+            "policy": self.policy,
+            "seed": self.seed,
+            "n_jobs": self.n_jobs,
+            "n_failed": self.n_failed,
+            "n_activations": self.n_activations,
+            "end_time": self.end_time,
+            "throughput_jobs_per_sim_sec": self.throughput_jobs(),
+            "throughput_activations_per_sim_sec": self.throughput_activations(),
+            "utilization": self.utilization(),
+            "mean_latency": self.mean_latency(),
+            "p50_latency": self.latency_percentile(50.0) if has_jobs else None,
+            "p99_latency": self.latency_percentile(99.0) if has_jobs else None,
+            "deadline_hit_rate": self.deadline_hit_rate(),
+            "tenants": self.tenant_summary(),
+            "vm_busy_time": {
+                str(vm_id): self.vm_busy_time[vm_id]
+                for vm_id in sorted(self.vm_busy_time)
+            },
+        }
+
+    def to_json(self, *, include_jobs: bool = False) -> str:
+        """Canonical (sorted-keys) JSON; bit-identical per seeded run."""
+        payload = self.metrics_dict()
+        if include_jobs:
+            payload["jobs"] = [r.to_dict() for r in self.jobs]
+        return json.dumps(payload, sort_keys=True, indent=1)

@@ -1,0 +1,657 @@
+"""The shared-fleet timeline: multiplexing many jobs over one fleet.
+
+One :class:`FleetTimeline` owns one VM fleet, one global
+:class:`~repro.sim.events.EventQueue` and one simulated clock, and
+drives every admitted job's DAG through them concurrently.  It is the
+streaming counterpart of :meth:`repro.sim.kernel.EpisodeKernel.run_episode`:
+the same event semantics (completions before dispatch at equal times,
+coalesced dispatch events, float-exact staging/compute arithmetic via
+:class:`~repro.sim.estimates.NominalEstimateCache`), but with *jobs
+arriving over time* and a pluggable policy choosing among the ready
+activations of **all** in-flight jobs at every decision point.
+
+Multi-tenancy isolation (the single-tenancy audit in PR 6 — pinned by
+``tests/test_service_multitenancy.py``):
+
+- each job owns a private :class:`JobRun` with its **own** workflow
+  instance, file-placement map and nominal-estimate cache.  Workflow
+  generators reuse file names across instances (two Montage jobs both
+  produce ``proj_0.fits``) and number activations from 0, so sharing
+  either the name-keyed ``file_locations`` dict or the
+  activation-id-keyed estimate cache across jobs would silently leak
+  data locality and cost estimates between tenants;
+- VM slot occupancy, per-VM cumulative busy time (which drives
+  burst-throttle fluctuation) and the stochastic model RNG streams are
+  **global** — that is the contention being modelled.
+
+Determinism: the event heap's ``(time, priority, sequence)`` total order
+plus arrival events pre-scheduled in job-id order makes a run a pure
+function of ``(schedule, fleet, policy, seed)``.  No wall-clock reads,
+no unordered iteration — tenants are only ever iterated via sorted keys
+or admission order.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.dag.activation import Activation, ActivationState
+from repro.dag.graph import Workflow
+from repro.service.jobs import Job
+from repro.service.metrics import JobRecord, ServiceResult
+from repro.sim.estimates import NominalEstimateCache
+from repro.sim.events import Event, EventQueue, EventType
+from repro.sim.failures import FailureModel, NoFailures
+from repro.sim.fluctuation import FluctuationModel, NoFluctuation
+from repro.sim.metrics import ActivationRecord
+from repro.sim.vm import Vm
+from repro.util.rng import RngService
+from repro.util.validate import ValidationError, check_positive
+
+if TYPE_CHECKING:  # import cycle: policies imports ServiceView from here
+    from repro.service.policies import SchedulingPolicy
+
+#: ``factory(job) -> Workflow`` — materializes a job's DAG at admission.
+WorkflowFactory = Callable[["Job"], "Workflow"]
+
+__all__ = [
+    "FleetTimeline",
+    "JobRun",
+    "ServiceError",
+    "ServicePending",
+    "ServiceView",
+]
+
+
+class ServiceError(RuntimeError):
+    """Raised when the service timeline cannot make progress."""
+
+
+@dataclass
+class ServicePending:
+    """One in-flight execution attempt, tagged with its owning job."""
+
+    job_id: int
+    activation_id: int
+    vm_id: int
+    ready_time: float
+    dispatch_time: float
+    stage_in: float
+    exec_duration: float
+    planned_finish: float
+    attempt: int
+    outcome: str  #: "success" | "retry" | "failure"
+    event: Optional[Event] = None
+
+
+class JobRun:
+    """Private execution state of one admitted job.
+
+    Everything in here is job-local: the workflow instance (its
+    activation ``state`` fields are this job's progress), the
+    file-placement map (names are only unique *within* a workflow) and
+    the nominal-estimate cache (keyed by activation id, which restarts
+    at 0 for every generated DAG).
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        workflow: Workflow,
+        fleet: Sequence[Vm],
+        *,
+        latency: float,
+        upload_outputs: bool,
+        admit_time: float,
+    ) -> None:
+        self.job = job
+        self.workflow = workflow
+        self.admit_time = admit_time
+        self.first_dispatch_time: Optional[float] = None
+        self.estimates = NominalEstimateCache(
+            fleet, latency=latency, upload_outputs=upload_outputs
+        )
+        self._ac_by_id: Dict[int, Activation] = {
+            ac.id: ac for ac in workflow.activations
+        }
+        self._children: Dict[int, Tuple[int, ...]] = {
+            i: tuple(workflow.children(i)) for i in workflow.activation_ids
+        }
+        self._unfinished_parents: Dict[int, int] = {
+            i: len(workflow.parents(i)) for i in workflow.activation_ids
+        }
+        self.n_total = len(self._ac_by_id)
+        self.n_finished = 0
+        self.n_failed = 0
+        self.n_running = 0
+        self.ready_ids: List[int] = []
+        self.ready_time: Dict[int, float] = {}
+        self.attempts: Dict[int, int] = {}
+        self.file_locations: Dict[str, int] = {}
+        self.records: List[ActivationRecord] = []
+        self._ready_cache: Optional[Tuple[Activation, ...]] = None
+        for i in sorted(workflow.entries()):
+            self._ac_by_id[i].transition(ActivationState.READY)
+            self.ready_ids.append(i)
+            self.ready_time[i] = admit_time
+
+    # -- views -----------------------------------------------------------
+
+    def activation(self, activation_id: int) -> Activation:
+        try:
+            return self._ac_by_id[activation_id]
+        except KeyError:
+            raise ValidationError(
+                f"job {self.job.job_id} has no activation {activation_id}"
+            ) from None
+
+    def ready_view(self) -> Tuple[Activation, ...]:
+        """READY activations ordered by id; cached until the set changes."""
+        if self._ready_cache is None:
+            self._ready_cache = tuple(
+                self._ac_by_id[i] for i in self.ready_ids
+            )
+        return self._ready_cache
+
+    @property
+    def done(self) -> bool:
+        """Terminal: every activation finished or terminally failed."""
+        return self.n_finished + self.n_failed == self.n_total
+
+    @property
+    def failed(self) -> bool:
+        return self.n_failed > 0
+
+    # -- transitions (job-local mirrors of EpisodeState's) ---------------
+
+    def make_ready(self, activation: Activation, *, was_running: bool) -> None:
+        activation.transition(ActivationState.READY)
+        insort(self.ready_ids, activation.id)
+        if was_running:
+            self.n_running -= 1
+        self._ready_cache = None
+
+    def start_running(self, activation: Activation) -> None:
+        activation.transition(ActivationState.RUNNING)
+        self.ready_ids.remove(activation.id)
+        self.n_running += 1
+        self._ready_cache = None
+
+    def finish_success(self, activation: Activation, now: float) -> None:
+        activation.transition(ActivationState.FINISHED)
+        self.n_running -= 1
+        self.n_finished += 1
+        released = False
+        for child_id in self._children[activation.id]:
+            remaining = self._unfinished_parents[child_id] - 1
+            self._unfinished_parents[child_id] = remaining
+            child = self._ac_by_id[child_id]
+            if remaining == 0 and child.state is ActivationState.LOCKED:
+                child.transition(ActivationState.READY)
+                insort(self.ready_ids, child_id)
+                self.ready_time[child_id] = now
+                released = True
+        if released:
+            self._ready_cache = None
+
+    def finish_failure(self, activation: Activation) -> None:
+        activation.transition(ActivationState.FAILED)
+        self.n_running -= 1
+        self.n_failed += 1
+        stack = list(self._children[activation.id])
+        while stack:
+            node = stack.pop()
+            ac = self._ac_by_id[node]
+            if ac.state is ActivationState.LOCKED:
+                ac.transition(ActivationState.FAILED)
+                self.n_failed += 1
+                stack.extend(self._children[node])
+
+
+class ServiceView:
+    """Read-only view of the timeline handed to scheduling policies."""
+
+    def __init__(self, timeline: "FleetTimeline") -> None:
+        self._tl = timeline
+
+    @property
+    def now(self) -> float:
+        return self._tl.now
+
+    @property
+    def jobs(self) -> Tuple[JobRun, ...]:
+        """In-flight jobs in admission order (the FIFO tie-break order)."""
+        return tuple(self._tl.admitted.values())
+
+    @property
+    def idle_vms(self) -> Tuple[Vm, ...]:
+        """VMs able to accept an activation now, ordered by id."""
+        return self._tl.idle_view()
+
+    @property
+    def tenant_busy_time(self) -> Mapping[str, float]:
+        """Cumulative busy seconds consumed per tenant (fair-share basis)."""
+        return self._tl.tenant_busy_time
+
+    @property
+    def tenant_running(self) -> Mapping[str, int]:
+        """Activations currently executing per tenant."""
+        return self._tl.tenant_running
+
+    def estimated_execution(
+        self, run: JobRun, activation: Activation, vm: Vm
+    ) -> float:
+        """Nominal compute estimate from the job's private cache."""
+        return run.estimates.compute_time(activation, vm)
+
+    def estimated_stage_in(
+        self, run: JobRun, activation: Activation, vm: Vm
+    ) -> float:
+        """Staging estimate under the job's private file placement."""
+        return run.estimates.stage_in_time(
+            activation, vm, run.file_locations
+        )
+
+
+class FleetTimeline:
+    """The multiplexing event loop over one shared fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The shared VMs.  The timeline takes ownership: VM runtime state
+        is reset at :meth:`run` entry and mutated throughout.
+    fluctuation / failures / max_attempts:
+        Optional stochastic execution models, shared across jobs (one
+        global RNG stream each, derived from ``seed``).
+    latency / upload_outputs:
+        Shared-storage staging parameters (the service supports the
+        default :class:`~repro.sim.network.SharedStorageNetwork`
+        semantics via per-job estimate caches).
+    max_in_flight:
+        Admission-control cap on concurrently executing jobs
+        (``None`` = admit on arrival).
+    horizon:
+        Hard simulated-time safety limit.
+    seed:
+        Root seed for the model RNG streams.
+    """
+
+    def __init__(
+        self,
+        fleet: Sequence[Vm],
+        *,
+        fluctuation: Optional[FluctuationModel] = None,
+        failures: Optional[FailureModel] = None,
+        max_attempts: int = 1,
+        latency: float = 0.05,
+        upload_outputs: bool = True,
+        max_in_flight: Optional[int] = None,
+        horizon: float = 1e9,
+        seed: int = 0,
+    ) -> None:
+        if not fleet:
+            raise ValidationError("fleet must contain at least one VM")
+        ids = [vm.id for vm in fleet]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("VM ids must be unique")
+        if max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValidationError("max_in_flight must be >= 1 or None")
+        self.fleet: List[Vm] = list(fleet)
+        self.vm_by_id: Dict[int, Vm] = {vm.id: vm for vm in self.fleet}
+        self.fluctuation = (
+            fluctuation if fluctuation is not None else NoFluctuation()
+        )
+        self.failures = failures if failures is not None else NoFailures()
+        self.max_attempts = int(max_attempts)
+        self.latency = latency
+        self.upload_outputs = bool(upload_outputs)
+        self.max_in_flight = max_in_flight
+        self.horizon = check_positive("horizon", horizon)
+        self.seed = int(seed)
+
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.admitted: Dict[int, JobRun] = {}  # insertion = admission order
+        self.waiting: List[Job] = []
+        self.in_flight: Dict[Tuple[int, int], ServicePending] = {}
+        self.busy_time: Dict[int, float] = {}
+        self.tenant_busy_time: Dict[str, float] = {}
+        self.tenant_running: Dict[str, int] = {}
+        self.completed: List[JobRecord] = []
+        self.rng_fluct: np.random.Generator
+        self.rng_fail: np.random.Generator
+        self._dispatch_scheduled = False
+        self._view = ServiceView(self)
+        self._workflow_factory: WorkflowFactory = _registry_factory
+        self._ran = False
+
+    # -- fleet views -----------------------------------------------------
+
+    def idle_view(self) -> Tuple[Vm, ...]:
+        """VMs that can accept an activation at the current time."""
+        now = self.now
+        return tuple(vm for vm in self.fleet if vm.is_idle(now))
+
+    def has_ready(self) -> bool:
+        for run in self.admitted.values():
+            if run.ready_ids:
+                return True
+        return False
+
+    # -- the event loop --------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        policy: "SchedulingPolicy",
+        *,
+        workflow_factory: Optional[WorkflowFactory] = None,
+    ) -> ServiceResult:
+        """Drive every job from arrival to completion; return metrics.
+
+        Single-use: a timeline accumulates global busy-time state, so
+        each run needs a fresh instance (the :class:`SchedulerService`
+        facade handles that).
+
+        ``workflow_factory(job) -> Workflow`` materializes each job's
+        DAG at admission; the default builds from the workflow registry
+        (``make_workflow(job.workflow, job.size, seed=job.workflow_seed)``).
+        """
+        if self._ran:
+            raise ValidationError(
+                "FleetTimeline.run is single-use; build a new timeline "
+                "per service run"
+            )
+        self._ran = True
+        if workflow_factory is not None:
+            self._workflow_factory = workflow_factory
+        rng = RngService(self.seed)
+        self.rng_fluct = rng.stream("service-fluctuation")
+        self.rng_fail = rng.stream("service-failures")
+
+        for vm in self.fleet:
+            vm.reset()
+            self.busy_time[vm.id] = 0.0
+            boot = vm.type.boot_time
+            vm.available_at = boot
+            if boot > 0:
+                self.queue.schedule(boot, EventType.VM_READY, vm.id)
+
+        ordered = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        for job in ordered:
+            self.queue.schedule(job.arrival_time, EventType.JOB_ARRIVAL, job)
+
+        n_jobs = len(ordered)
+        while len(self.completed) < n_jobs:
+            event = self.queue.pop()
+            if event is None:
+                raise ServiceError(
+                    f"service deadlocked at t={self.now:.3f}: "
+                    f"{len(self.completed)}/{n_jobs} jobs complete, "
+                    f"{len(self.waiting)} waiting admission, no events"
+                )
+            if event.time < self.now - 1e-9:
+                raise ServiceError("event time regressed (internal bug)")
+            self.now = max(self.now, event.time)
+            if self.now > self.horizon:
+                raise ServiceError(
+                    f"service exceeded horizon {self.horizon} with "
+                    f"{n_jobs - len(self.completed)} jobs unfinished"
+                )
+            self._handle(policy, event)
+
+        end_time = max((r.completion_time for r in self.completed), default=0.0)
+        return ServiceResult(
+            jobs=list(self.completed),
+            end_time=end_time,
+            vm_busy_time=dict(self.busy_time),
+            vm_capacity={vm.id: vm.capacity for vm in self.fleet},
+            policy=policy.name,
+            seed=self.seed,
+        )
+
+    # -- event handling --------------------------------------------------
+
+    def _handle(self, policy: "SchedulingPolicy", event: Event) -> None:
+        if event.type is EventType.JOB_ARRIVAL:
+            self.waiting.append(event.payload)
+            self._admit(policy)
+            self._schedule_dispatch()
+        elif event.type is EventType.ACTIVATION_DONE:
+            self._complete(policy, event.payload)
+        elif event.type is EventType.DISPATCH:
+            self._dispatch_scheduled = False
+            self._dispatch_loop(policy)
+        elif event.type is EventType.VM_READY:
+            self._schedule_dispatch()
+        else:  # pragma: no cover - defensive
+            raise ServiceError(f"unhandled event type {event.type!r}")
+
+    def _schedule_dispatch(self) -> None:
+        if not self._dispatch_scheduled:
+            self._dispatch_scheduled = True
+            self.queue.schedule(self.now, EventType.DISPATCH)
+
+    # -- admission -------------------------------------------------------
+
+    def _admit(self, policy: "SchedulingPolicy") -> None:
+        """Move jobs from the admission queue into execution."""
+        while self.waiting and (
+            self.max_in_flight is None
+            or len(self.admitted) < self.max_in_flight
+        ):
+            index = policy.admit_index(tuple(self.waiting), self._view)
+            if not 0 <= index < len(self.waiting):
+                raise ValidationError(
+                    f"policy {policy.name!r} returned admission index "
+                    f"{index} for a queue of {len(self.waiting)}"
+                )
+            job = self.waiting.pop(index)
+            workflow = self._workflow_factory(job)
+            n_generated = len(list(workflow.activations))
+            if n_generated != job.size:
+                raise ValidationError(
+                    f"job {job.job_id}: workflow factory produced "
+                    f"{n_generated} activations, expected {job.size}"
+                )
+            run = JobRun(
+                job,
+                workflow,
+                self.fleet,
+                latency=self.latency,
+                upload_outputs=self.upload_outputs,
+                admit_time=self.now,
+            )
+            self.admitted[job.job_id] = run
+            self.tenant_busy_time.setdefault(job.tenant, 0.0)
+            self.tenant_running.setdefault(job.tenant, 0)
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch_loop(self, policy: "SchedulingPolicy") -> None:
+        while True:
+            if not self.has_ready():
+                return
+            if not self.idle_view():
+                return
+            decision = policy.select(self._view)
+            if decision is None:
+                return  # the policy's "hold back" action
+            job_id, activation_id, vm_id = decision
+            self._dispatch(job_id, activation_id, vm_id)
+
+    def _dispatch(self, job_id: int, activation_id: int, vm_id: int) -> None:
+        run = self.admitted.get(job_id)
+        if run is None:
+            raise ValidationError(f"policy chose unknown job {job_id}")
+        ac = run.activation(activation_id)
+        vm = self.vm_by_id.get(vm_id)
+        if vm is None:
+            raise ValidationError(f"policy chose unknown VM {vm_id}")
+        if ac.state is not ActivationState.READY:
+            raise ValidationError(
+                f"policy chose activation {activation_id} of job {job_id} "
+                f"in state {ac.state.name}, expected READY"
+            )
+        if not vm.is_idle(self.now):
+            raise ValidationError(
+                f"policy chose VM {vm_id} which is not idle at "
+                f"t={self.now:.3f}"
+            )
+
+        attempt = run.attempts.get(activation_id, 0)
+        stage_in = run.estimates.stage_in_time(ac, vm, run.file_locations)
+        factor = self.fluctuation.factor(
+            vm, self.now, self.busy_time[vm.id], self.rng_fluct
+        )
+        compute = run.estimates.compute_time(ac, vm) * factor
+        stage_out = run.estimates.stage_out_time(ac, vm)
+
+        fails = self.failures.attempt_fails(ac, vm, attempt, self.rng_fail)
+        if fails:
+            duration = (
+                stage_in + compute * self.failures.failure_runtime_fraction
+            )
+            outcome = (
+                "retry" if attempt + 1 < self.max_attempts else "failure"
+            )
+        else:
+            duration = stage_in + compute + stage_out
+            outcome = "success"
+
+        run.start_running(ac)
+        vm.start(_slot_key(job_id, activation_id))
+        if run.first_dispatch_time is None:
+            run.first_dispatch_time = self.now
+        self.tenant_running[run.job.tenant] += 1
+        pending = ServicePending(
+            job_id=job_id,
+            activation_id=activation_id,
+            vm_id=vm_id,
+            ready_time=run.ready_time[activation_id],
+            dispatch_time=self.now,
+            stage_in=stage_in,
+            exec_duration=duration,
+            planned_finish=self.now + duration,
+            attempt=attempt,
+            outcome=outcome,
+        )
+        pending.event = self.queue.schedule(
+            pending.planned_finish, EventType.ACTIVATION_DONE, pending
+        )
+        self.in_flight[(job_id, activation_id)] = pending
+
+    # -- completion ------------------------------------------------------
+
+    def _complete(
+        self, policy: "SchedulingPolicy", pending: ServicePending
+    ) -> None:
+        run = self.admitted[pending.job_id]
+        ac = run.activation(pending.activation_id)
+        vm = self.vm_by_id[pending.vm_id]
+        vm.finish(_slot_key(pending.job_id, pending.activation_id))
+        del self.in_flight[(pending.job_id, pending.activation_id)]
+        elapsed = self.now - pending.dispatch_time
+        self.busy_time[vm.id] += elapsed
+        self.tenant_busy_time[run.job.tenant] += elapsed
+        self.tenant_running[run.job.tenant] -= 1
+
+        if pending.outcome == "success":
+            for f in ac.outputs:
+                run.file_locations[f.name] = vm.id
+            run.records.append(
+                ActivationRecord(
+                    activation_id=ac.id,
+                    activity=ac.activity,
+                    vm_id=vm.id,
+                    ready_time=pending.ready_time,
+                    start_time=pending.dispatch_time,
+                    finish_time=self.now,
+                    stage_in_time=pending.stage_in,
+                    attempts=pending.attempt + 1,
+                    failed=False,
+                )
+            )
+            run.finish_success(ac, self.now)
+        elif pending.outcome == "retry":
+            run.attempts[ac.id] = pending.attempt + 1
+            run.make_ready(ac, was_running=True)
+        else:  # terminal failure
+            run.records.append(
+                ActivationRecord(
+                    activation_id=ac.id,
+                    activity=ac.activity,
+                    vm_id=vm.id,
+                    ready_time=pending.ready_time,
+                    start_time=pending.dispatch_time,
+                    finish_time=self.now,
+                    stage_in_time=pending.stage_in,
+                    attempts=pending.attempt + 1,
+                    failed=True,
+                )
+            )
+            run.finish_failure(ac)
+
+        if run.done:
+            self._retire(run)
+            self._admit(policy)
+        self._schedule_dispatch()
+
+    def _retire(self, run: JobRun) -> None:
+        """Record a finished job and free its in-flight slot."""
+        del self.admitted[run.job.job_id]
+        first = (
+            run.first_dispatch_time
+            if run.first_dispatch_time is not None
+            else self.now
+        )
+        self.completed.append(
+            JobRecord(
+                job_id=run.job.job_id,
+                tenant=run.job.tenant,
+                workflow=run.job.workflow,
+                size=run.job.size,
+                arrival_time=run.job.arrival_time,
+                admit_time=run.admit_time,
+                first_dispatch_time=first,
+                completion_time=self.now,
+                n_activations=run.n_finished,
+                failed=run.failed,
+                deadline=run.job.deadline,
+            )
+        )
+
+
+def _slot_key(job_id: int, activation_id: int) -> int:
+    """Fleet-unique slot token for (job, activation).
+
+    :class:`~repro.sim.vm.Vm` tracks occupancy as a set of ints that the
+    single-job kernel fills with bare activation ids.  Two jobs both
+    running activation 3 would collide, so the service packs the job id
+    into the token (activation ids stay well below 2**20 for any
+    registry workflow).
+    """
+    return (job_id << 20) | activation_id
+
+
+def _registry_factory(job: Job) -> Workflow:
+    """Default workflow materialization: the workflow registry."""
+    from repro.workflows.registry import make_workflow
+
+    return make_workflow(job.workflow, job.size, seed=job.workflow_seed)

@@ -34,6 +34,7 @@ class EventType(enum.IntEnum):
     MIGRATION_START = 4  #: VM begins a live migration
     DISPATCH = 5  #: scheduler decision point
     END_OF_SIMULATION = 6  #: safety horizon
+    JOB_ARRIVAL = 7  #: a new job enters the streaming service
 
 
 @dataclass

@@ -124,6 +124,21 @@ class EpisodeState:
     """
 
     def __init__(self, kernel: "EpisodeKernel") -> None:
+        # Single-tenancy invariant (PR 6 audit): an EpisodeState owns the
+        # kernel's shared mutable objects — the workflow copy's activation
+        # states and the fleet's VM slots.  A second live state on the
+        # same kernel would scrub those objects out from under the first
+        # (this constructor ends in reset(0)), so exactly one state may
+        # exist per kernel.  Concurrent multi-job execution goes through
+        # repro.service.timeline, which gives every job private
+        # structures and shares only the fleet, deliberately.
+        if getattr(kernel, "_state", None) is not None:
+            raise ValidationError(
+                "kernel already owns a live EpisodeState; constructing a "
+                "second one would scrub the in-flight episode's shared "
+                "workflow/fleet state (use repro.service.FleetTimeline "
+                "to multiplex jobs over one fleet)"
+            )
         self._kernel = kernel
         self.now = 0.0
         self.queue = EventQueue()

@@ -20,6 +20,10 @@ The fixtures cover four behaviourally distinct regimes:
   revocations (revocation path).  These pin the RNG stream derivations.
 - ``montage25_sweep_fingerprint.json`` — a reduced learning sweep
   (workers=1), pinning the parallel runner's seed plumbing end to end.
+- ``service_stream_fixture.json`` — the reference streaming-service
+  scenario (3 tenants, 20 Montage-20 jobs, Poisson arrivals, seed 42):
+  the arrival trace plus the full per-job metrics JSON under each of
+  the three admission policies, pinning the multi-tenant timeline.
 
 Regenerate (only after an *intentional* behaviour change) with::
 
@@ -41,6 +45,7 @@ TRACE_FIXTURES = (
     "montage50_reassign_episodes.json",
     "montage25_noisy_trace.json",
     "montage25_sweep_fingerprint.json",
+    "service_stream_fixture.json",
 )
 
 
@@ -174,11 +179,45 @@ def build_sweep_fingerprint(workers: int = 1) -> Dict[str, Any]:
     }
 
 
+def build_service_stream() -> Dict[str, Any]:
+    """Reference streaming-service run: trace + metrics per policy.
+
+    The scenario is ``reference_scenario()``'s defaults (3 equal-weight
+    tenants, 20 Montage-20 jobs, Poisson rate 0.02/s, seed 42).  The
+    fixture pins both the arrival schedule itself and the complete
+    per-job metrics JSON under every shipped admission policy, so any
+    drift in arrivals, the shared-fleet timeline, or a policy's
+    tie-breaking shows up as a byte diff.
+    """
+    from repro.service import (
+        SchedulerService,
+        ServiceConfig,
+        available_policies,
+        reference_scenario,
+        schedule_to_json,
+    )
+
+    arrivals = reference_scenario()
+    out: Dict[str, Any] = {
+        "trace": json.loads(schedule_to_json(arrivals.schedule())),
+        "metrics": {},
+    }
+    for policy in available_policies():
+        result = SchedulerService(
+            arrivals, ServiceConfig(policy=policy), seed=42
+        ).run()
+        out["metrics"][policy] = json.loads(
+            result.to_json(include_jobs=True)
+        )
+    return out
+
+
 BUILDERS = {
     "montage50_heft_trace.json": build_heft_trace,
     "montage50_reassign_episodes.json": build_reassign_episodes,
     "montage25_noisy_trace.json": build_noisy_traces,
     "montage25_sweep_fingerprint.json": build_sweep_fingerprint,
+    "service_stream_fixture.json": build_service_stream,
 }
 
 

@@ -1,0 +1,84 @@
+"""Characterization test: the streaming service vs its golden fixture.
+
+``tests/golden/service_stream_fixture.json`` freezes the reference
+scenario (3 tenants, 20 Montage-20 jobs, Poisson arrivals, seed 42):
+the arrival trace plus the full per-job metrics JSON under every
+shipped admission policy.  Rebuilding the fixture from scratch must be
+*byte-identical* to the frozen file — any drift in the arrival
+generator, the shared-fleet timeline, or a policy's tie-breaking is a
+behaviour change that must be explained and regenerated via::
+
+    PYTHONPATH=src python tests/golden/regen_traces.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "golden"))
+
+from regen_traces import GOLDEN_DIR, build_service_stream  # noqa: E402
+
+pytestmark = pytest.mark.service
+
+FIXTURE = GOLDEN_DIR / "service_stream_fixture.json"
+
+
+@pytest.fixture(scope="module")
+def frozen() -> dict:
+    return json.loads(FIXTURE.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def rebuilt() -> dict:
+    return build_service_stream()
+
+
+def test_fixture_bytes_identical(rebuilt) -> None:
+    """The strongest form: regeneration reproduces the file's bytes."""
+    expected = FIXTURE.read_bytes()
+    actual = (
+        json.dumps(rebuilt, sort_keys=True, indent=1) + "\n"
+    ).encode("utf-8")
+    assert actual == expected
+
+
+def test_fixture_covers_all_policies(frozen) -> None:
+    from repro.service import available_policies
+
+    assert sorted(frozen["metrics"]) == available_policies()
+
+
+def test_trace_shape(frozen) -> None:
+    """The frozen arrival trace matches the reference scenario's shape."""
+    jobs = frozen["trace"]["jobs"]
+    assert len(jobs) == 20
+    assert sorted({j["tenant"] for j in jobs}) == [
+        "tenant-0", "tenant-1", "tenant-2",
+    ]
+    arrivals = [j["arrival_time"] for j in jobs]
+    assert arrivals == sorted(arrivals)
+    assert all(t >= 0.0 for t in arrivals)
+
+
+def test_all_jobs_complete_under_every_policy(frozen) -> None:
+    for policy, metrics in frozen["metrics"].items():
+        assert metrics["n_jobs"] == 20, policy
+        assert metrics["n_failed"] == 0, policy
+        assert len(metrics["jobs"]) == 20, policy
+
+
+def test_frozen_metrics_are_internally_consistent(frozen) -> None:
+    """Aggregates in the fixture recompute exactly from the job records."""
+    from repro.service import percentile
+
+    for policy, metrics in frozen["metrics"].items():
+        latencies = [j["latency"] for j in metrics["jobs"]]
+        assert metrics["p50_latency"] == percentile(latencies, 50.0), policy
+        assert metrics["p99_latency"] == percentile(latencies, 99.0), policy
+        end = max(j["completion_time"] for j in metrics["jobs"])
+        assert metrics["end_time"] == end, policy

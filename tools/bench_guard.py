@@ -44,6 +44,12 @@ GUARDED: Dict[str, List[str]] = {
         "fast_vs_legacy_ratio",
         "fast_vs_pre_refactor_speedup",
     ],
+    # Both metrics are *simulated* quantities — deterministic per seed,
+    # machine-independent (see benchmarks/test_service_throughput.py).
+    "results/BENCH_service_throughput.json": [
+        "service_vs_serial_ratio",
+        "fleet_utilization",
+    ],
 }
 
 

@@ -1,0 +1,118 @@
+"""Reprolint incremental-cache benchmark — warm vs cold analysis.
+
+Runs the two-phase analyzer over ``src/`` twice against the same cache
+file:
+
+- **cold**: empty cache — every file is parsed, per-file rules run, and
+  cross-file facts are extracted;
+- **warm**: nothing changed — phase 1 replays per-file findings and
+  facts from the content-addressed cache and only the (cheap) project
+  rules run live.
+
+The guarded metric is ``warm_vs_cold_ratio`` (cold wall / warm wall):
+both arms run in the same process on the same host, so machine speed
+divides out and ``tools/bench_guard.py`` can hold the floor across CI
+runners.  Byte-identity of the findings between the two arms is
+asserted before any number counts — a cache that changes results would
+make the speedup meaningless.
+
+Results go to ``results/reprolint_throughput.md`` (prose) and
+``results/BENCH_reprolint_throughput.json`` (machine-readable, guarded).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis import analyze_project
+from repro.analysis.report import render
+
+from conftest import save_artifact
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_WARM_REPEATS = 3
+
+
+def _run(cache_file):
+    started = time.perf_counter()
+    report = analyze_project([str(REPO_ROOT / "src")], cache_file=cache_file)
+    return report, time.perf_counter() - started
+
+
+def _render_note(report, cold_wall, warm_wall, ratio):
+    return "\n".join([
+        "# Reprolint throughput (incremental cache, warm vs cold)",
+        "",
+        f"- host cores: {os.cpu_count() or 1}",
+        f"- corpus: src/ ({report.files_scanned} files, "
+        f"{len(report.findings)} findings)",
+        f"- cold run (parse + rules + fact extraction): {cold_wall:.3f} s",
+        f"- warm run (cache replay + project rules, best of "
+        f"{_WARM_REPEATS}): {warm_wall:.3f} s",
+        f"- warm-vs-cold speedup: {ratio:.1f}x",
+        "",
+        "Findings are byte-identical between the arms (asserted).  The",
+        "ratio is guarded by tools/bench_guard.py; absolute seconds",
+        "measure the runner and are reported only.",
+    ])
+
+
+def _bench_json(report, cold_wall, warm_wall, ratio):
+    return json.dumps(
+        {
+            "benchmark": "reprolint_throughput",
+            "corpus": "src",
+            "files_scanned": report.files_scanned,
+            "n_findings": len(report.findings),
+            "host_cores": os.cpu_count() or 1,
+            "cold_wall_seconds": cold_wall,
+            "warm_wall_seconds": warm_wall,
+            "cold_files_per_sec": report.files_scanned / cold_wall
+            if cold_wall > 0
+            else None,
+            "warm_vs_cold_ratio": ratio,
+        },
+        indent=1,
+        sort_keys=True,
+    )
+
+
+@pytest.mark.fast
+def test_reprolint_cache_throughput(results_dir, tmp_path):
+    cache = str(tmp_path / "reprolint-cache.json")
+
+    cold, cold_wall = _run(cache)
+    assert cold.cache is not None
+    assert (cold.cache.hits, cold.cache.misses) == (0, cold.files_scanned)
+    assert cold.findings == [], [str(f) for f in cold.findings]
+
+    warm = cold
+    warm_wall = float("inf")
+    for _ in range(_WARM_REPEATS):
+        warm, wall = _run(cache)
+        warm_wall = min(warm_wall, wall)
+    assert warm.cache is not None
+    assert (warm.cache.hits, warm.cache.misses) == (warm.files_scanned, 0)
+
+    # the cache must be invisible in the output before any speedup counts
+    assert render(warm.findings, warm.files_scanned, "json") == render(
+        cold.findings, cold.files_scanned, "json"
+    )
+
+    ratio = cold_wall / max(warm_wall, 1e-9)
+    save_artifact(
+        results_dir,
+        "reprolint_throughput.md",
+        _render_note(cold, cold_wall, warm_wall, ratio),
+    )
+    save_artifact(
+        results_dir,
+        "BENCH_reprolint_throughput.json",
+        _bench_json(cold, cold_wall, warm_wall, ratio),
+    )
+    assert ratio >= 5.0, (
+        f"warm cache run only {ratio:.1f}x faster than cold (floor 5x)"
+    )

@@ -2,35 +2,77 @@
 
 The repo's reproducibility guarantees (bit-identical parallel sweeps,
 same-seed provenance; see ``docs/runner.md``) are enforced dynamically by
-the determinism regression tests and *statically* by this package: six
-repo-specific rules (RL001–RL006) catch global RNG state, wall-clock
-reads, unordered-set iteration, unpicklable parallel tasks, backwards
-simulated time and unsorted directory listings at lint time.
+the determinism regression tests and *statically* by this package, in
+two phases: per-file rules catch single-file defects (global RNG state,
+wall-clock reads, unordered-set iteration, unpicklable parallel tasks,
+backwards simulated time, unsorted directory listings, hot-loop
+cross-product rebuilds), and whole-program :class:`ProjectRule` passes
+relate facts across files (RNG stream-name collisions, non-canonical
+persisted JSON, broken seed plumbing, event-priority drift, kernel
+mutation, order-sensitive float reductions).
+
+The advertised range below is generated from the rule registry — see
+``repro.analysis.registry`` — so it is always current: rules {rule_range}
+({n_rules} rules).
 
 Run it as ``reprolint`` (console script) or ``python -m repro.analysis``;
 rule catalogue and rationale live in ``docs/analysis.md``.
 """
 
+from repro.analysis.cache import AnalysisCache, CacheStats, ruleset_fingerprint
 from repro.analysis.engine import (
+    AnalysisReport,
     analyze_paths,
+    analyze_project,
     analyze_source,
+    analyze_sources,
     apply_baseline,
     load_baseline,
     write_baseline,
 )
 from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ALL_PROJECT_RULES,
+    FileFacts,
+    ProjectIndex,
+    ProjectRule,
+    extract_facts,
+)
+from repro.analysis.registry import ALL_RULE_CODES, rule_catalog, rule_range
 from repro.analysis.report import render
 from repro.analysis.rules import ALL_RULES, FileContext, Rule
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
+    "ALL_RULE_CODES",
+    "AnalysisCache",
+    "AnalysisReport",
+    "CacheStats",
     "FileContext",
+    "FileFacts",
     "Finding",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
+    "analyze_sources",
     "apply_baseline",
+    "extract_facts",
     "load_baseline",
     "render",
+    "rule_catalog",
+    "rule_range",
+    "ruleset_fingerprint",
     "write_baseline",
 ]
+
+# The docstring advertises the rule range; fill it in from the registry
+# so it can never rot when a rule lands (this module is imported, the
+# placeholder is formatted exactly once).
+if __doc__ is not None:
+    __doc__ = __doc__.format(
+        rule_range=rule_range(), n_rules=len(ALL_RULE_CODES)
+    )

@@ -1,0 +1,155 @@
+"""Incremental analysis cache (``.reprolint-cache.json``).
+
+Warm CI runs should be near-instant: per-file findings and extracted
+:class:`~repro.analysis.project.FileFacts` are keyed by the file's
+content sha256, so an unchanged file is never re-parsed — its cached
+findings are replayed byte-for-byte and its cached facts feed the
+(cheap) phase-2 project rules, which always run against the full index.
+
+Invalidation is deliberately coarse where it must be:
+
+- the whole cache is dropped when the **rule-set fingerprint** changes —
+  the fingerprint hashes the selected rule codes, the facts schema
+  version and the source bytes of the entire ``repro.analysis`` package,
+  so editing any rule (per-file *or* project) or the engine itself
+  invalidates every entry rather than replaying stale results;
+- a single changed file misses only for itself, but because project
+  rules re-run over all facts every time, its new facts immediately
+  participate in every cross-file check.
+
+The cache file is canonical JSON (sorted keys) and safe to delete at
+any time; a corrupt or version-skewed file is treated as empty.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import FACTS_SCHEMA_VERSION, FileFacts
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "DEFAULT_CACHE_FILE",
+    "ruleset_fingerprint",
+]
+
+#: Conventional cache location (the CLI's ``--cache-file`` default value).
+DEFAULT_CACHE_FILE = ".reprolint-cache.json"
+
+_CACHE_VERSION = 1
+
+
+def ruleset_fingerprint(rule_codes: Sequence[str]) -> str:
+    """Fingerprint the active rule set *and* the analyzer implementation.
+
+    Hashes the sorted selected rule codes, the facts schema version and
+    the bytes of every module in ``repro.analysis``, so any change to a
+    rule, the extraction logic or the engine invalidates every cached
+    entry (the "ProjectRule active-dirty" case included: project rules
+    are part of this package, so editing one changes the fingerprint).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"cache-version:{_CACHE_VERSION}\n".encode("utf-8"))
+    digest.update(f"facts-schema:{FACTS_SCHEMA_VERSION}\n".encode("utf-8"))
+    for code in sorted(rule_codes):
+        digest.update(f"rule:{code}\n".encode("utf-8"))
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(f"file:{source.name}\n".encode("utf-8"))
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one analysis run."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+#: One cache lookup result: (per-file findings, facts, suppressed lines).
+CacheEntry = Tuple[List[Finding], FileFacts, Dict[int, Set[str]]]
+
+
+class AnalysisCache:
+    """Content-addressed store of per-file analysis results."""
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.stats = CacheStats()
+        self._entries: Dict[str, Dict[str, Any]] = self._load()
+
+    def _load(self) -> Dict[str, Any]:
+        try:
+            payload = json.loads(Path(self.path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        if payload.get("version") != _CACHE_VERSION:
+            return {}
+        if payload.get("fingerprint") != self.fingerprint:
+            return {}  # rule set or analyzer changed: drop everything
+        files = payload.get("files")
+        return dict(files) if isinstance(files, dict) else {}
+
+    def lookup(self, file_key: str, sha256: str) -> Optional[CacheEntry]:
+        """Return the cached entry for ``file_key`` iff its content matches."""
+        entry = self._entries.get(file_key)
+        if entry is None or entry.get("sha256") != sha256:
+            self.stats.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(d) for d in entry["findings"]]
+            facts = FileFacts.from_dict(entry["facts"])
+            suppressions = {
+                int(line): set(str(c) for c in codes)
+                for line, codes in entry["suppressions"].items()
+            }
+        except (KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return findings, facts, suppressions
+
+    def store(
+        self,
+        file_key: str,
+        sha256: str,
+        findings: Sequence[Finding],
+        facts: FileFacts,
+        suppressions: Dict[int, Set[str]],
+    ) -> None:
+        """Record one freshly-analyzed file."""
+        self._entries[file_key] = {
+            "sha256": sha256,
+            "findings": [f.to_dict() for f in findings],
+            "facts": facts.to_dict(),
+            "suppressions": {
+                str(line): sorted(codes)
+                for line, codes in sorted(suppressions.items())
+            },
+        }
+
+    def save(self) -> None:
+        """Write the cache back as canonical JSON (best effort)."""
+        payload = {
+            "version": _CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._entries,
+        }
+        try:
+            Path(self.path).write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # an unwritable cache must never fail the lint gate

@@ -2,26 +2,39 @@
 
 Exit codes: 0 = clean, 1 = findings reported, 2 = usage/IO error —
 matching the convention of ruff/mypy so CI treats all three gates alike.
+
+The advertised rule range and the ``--help`` epilog are generated from
+:mod:`repro.analysis.registry`, so they can never lag the rule set.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.cache import DEFAULT_CACHE_FILE
 from repro.analysis.engine import (
     DEFAULT_EXCLUDED_DIRS,
+    DEFAULT_EXCLUDED_PATHS,
     BaselineError,
-    analyze_paths,
+    analyze_project,
     apply_baseline,
     load_baseline,
     write_baseline,
 )
+from repro.analysis.project import ALL_PROJECT_RULES, ProjectRule
+from repro.analysis.registry import rule_catalog, rule_range, select_rules
 from repro.analysis.report import FORMATS, render
 from repro.analysis.rules import ALL_RULES, Rule
 
 __all__ = ["main", "build_parser"]
+
+
+def _epilog() -> str:
+    rows = [f"  {code}  [{kind}]  {summary}"
+            for code, kind, summary in rule_catalog()]
+    return "rules:\n" + "\n".join(rows)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,8 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="reprolint",
         description=(
             "AST-based determinism & simulation-invariant analyzer for the "
-            "ReASSIgN reproduction (rules RL001-RL006; see docs/analysis.md)"
+            f"ReASSIgN reproduction (rules {rule_range()}; per-file + "
+            "whole-program phases; see docs/analysis.md)"
         ),
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "paths",
@@ -64,12 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--exclude",
-        metavar="DIRNAME",
+        metavar="NAME_OR_PATH",
         action="append",
         default=[],
         help=(
-            "additional directory name to skip (repeatable; "
-            f"always skipped: {', '.join(DEFAULT_EXCLUDED_DIRS)})"
+            "additional directory name (no slash) or path fragment "
+            "(with slash) to skip; repeatable. Always skipped: "
+            f"{', '.join(DEFAULT_EXCLUDED_DIRS + DEFAULT_EXCLUDED_PATHS)}"
+        ),
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="FILE",
+        nargs="?",
+        const=DEFAULT_CACHE_FILE,
+        default=None,
+        help=(
+            "enable the incremental analysis cache, stored at FILE "
+            f"(default when the flag is given: {DEFAULT_CACHE_FILE}); "
+            "unchanged files replay cached findings byte-for-byte"
         ),
     )
     parser.add_argument(
@@ -80,18 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _select_rules(spec: Optional[str]) -> List[Rule]:
+def _select(
+    spec: Optional[str],
+) -> Tuple[List[Rule], List[ProjectRule]]:
     if spec is None:
-        return list(ALL_RULES)
-    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
-    known = {rule.code for rule in ALL_RULES}
-    unknown = wanted - known
-    if unknown:
-        raise ValueError(
-            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
-            f"known: {', '.join(sorted(known))}"
-        )
-    return [rule for rule in ALL_RULES if rule.code in wanted]
+        return list(ALL_RULES), list(ALL_PROJECT_RULES)
+    return select_rules(spec)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -99,24 +122,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.summary}")
+        for code, kind, summary in rule_catalog():
+            print(f"{code}  [{kind}]  {summary}")
         return 0
 
     try:
-        rules = _select_rules(args.select)
+        rules, project_rules = _select(args.select)
     except ValueError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
 
-    excluded = tuple(DEFAULT_EXCLUDED_DIRS) + tuple(args.exclude)
+    excluded_dirs = list(DEFAULT_EXCLUDED_DIRS)
+    excluded_paths = list(DEFAULT_EXCLUDED_PATHS)
+    for extra in args.exclude:
+        (excluded_paths if "/" in extra else excluded_dirs).append(extra)
+
     try:
-        findings, files_scanned = analyze_paths(
-            args.paths, rules=rules, excluded_dirs=excluded
+        report = analyze_project(
+            args.paths,
+            rules=rules,
+            project_rules=project_rules,
+            excluded_dirs=excluded_dirs,
+            excluded_paths=excluded_paths,
+            cache_file=args.cache_file,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
+    findings = report.findings
 
     if args.write_baseline is not None:
         write_baseline(args.write_baseline, findings)
@@ -133,7 +166,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"reprolint: error: {exc}", file=sys.stderr)
             return 2
 
-    print(render(findings, files_scanned, args.format))
+    print(render(findings, report.files_scanned, args.format, report.cache))
     return 1 if findings else 0
 
 

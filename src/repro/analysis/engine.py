@@ -1,9 +1,20 @@
-"""The reprolint engine: file discovery, suppression, baseline filtering.
+"""The reprolint engine: discovery, two-phase analysis, suppression, baseline.
 
 The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
-only) so the lint gate runs anywhere the repo's tests run.  It walks the
-given paths in **sorted** order — the analyzer obeys its own RL006 rule —
-parses each ``*.py`` once, and hands the tree to every applicable rule.
+only) so the lint gate runs anywhere the repo's tests run.  Analysis is
+two-phase:
+
+1. **Per-file pass** — walk the given paths in **sorted** order (the
+   analyzer obeys its own RL006 rule), parse each ``*.py`` once, run the
+   per-file rules (RL001–RL007) and extract the cross-file facts
+   (:func:`repro.analysis.project.extract_facts`).  With a cache
+   attached, unchanged files skip this phase entirely: their findings
+   and facts replay from ``.reprolint-cache.json`` byte-for-byte.
+2. **Project pass** — assemble every file's facts into a
+   :class:`~repro.analysis.project.ProjectIndex` and run the project
+   rules (RL008–RL013) over it.  This pass always runs live (it is
+   cheap — facts, not trees) so cross-file checks see the whole
+   program even on a fully warm cache.
 
 Suppression
 -----------
@@ -12,6 +23,9 @@ A finding is suppressed by a comment on its own line::
     frobnicate(random.random())  # reprolint: disable=RL001
     legacy_call()                # reprolint: disable=all
     two_problems()               # reprolint: disable=RL001,RL003
+
+Suppressions apply to project-rule findings too (matched on the line
+the finding is reported at).
 
 Baseline
 --------
@@ -26,35 +40,56 @@ tree *is* clean — and exists to keep that workflow one flag away.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import json
 import re
 import tokenize
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.cache import AnalysisCache, CacheStats, ruleset_fingerprint
 from repro.analysis.findings import SYNTAX_ERROR_RULE, Finding
+from repro.analysis.project import (
+    ALL_PROJECT_RULES,
+    FileFacts,
+    ProjectIndex,
+    ProjectRule,
+    extract_facts,
+    _module_of,
+)
 from repro.analysis.rules import ALL_RULES, FileContext, Rule
 
 __all__ = [
+    "AnalysisReport",
     "analyze_source",
+    "analyze_sources",
     "analyze_paths",
+    "analyze_project",
     "iter_python_files",
     "suppressed_lines",
     "load_baseline",
     "write_baseline",
     "apply_baseline",
     "DEFAULT_EXCLUDED_DIRS",
+    "DEFAULT_EXCLUDED_PATHS",
     "BaselineError",
 ]
 
-#: Directory names skipped during discovery.  ``fixtures`` holds the
-#: analyzer's own deliberately-violating test snippets.
+#: Directory *names* skipped wherever they appear during discovery.
 DEFAULT_EXCLUDED_DIRS: Tuple[str, ...] = (
     "__pycache__",
     ".git",
     ".venv",
-    "fixtures",
+)
+
+#: Path *fragments* skipped during discovery.  Scoped, unlike the name
+#: list above: only the analyzer's own deliberately-violating snippets
+#: under ``tests/analysis/fixtures`` are exempt — a future
+#: ``src/repro/**/fixtures/`` package would still be linted.
+DEFAULT_EXCLUDED_PATHS: Tuple[str, ...] = (
+    "tests/analysis/fixtures",
 )
 
 _SUPPRESS_RE = re.compile(
@@ -84,29 +119,23 @@ def suppressed_lines(source: str) -> Dict[int, Set[str]]:
     return out
 
 
-def analyze_source(
+def _analyze_one(
     source: str,
-    path: str,
-    rules: Sequence[Rule] = ALL_RULES,
-) -> List[Finding]:
-    """Run every applicable rule over one file's source text.
-
-    ``path`` is used both for reporting and for rule scoping, so virtual
-    paths (as the fixture tests use) steer which rules run.
-    """
-    posix = path.replace("\\", "/")
+    posix: str,
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], FileFacts, Dict[int, Set[str]]]:
+    """Phase 1 for one file: per-file findings + facts + suppression map."""
     try:
         tree = ast.parse(source, filename=posix)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=posix,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=SYNTAX_ERROR_RULE,
-                message=f"cannot parse file: {exc.msg}",
-            )
-        ]
+        finding = Finding(
+            path=posix,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=SYNTAX_ERROR_RULE,
+            message=f"cannot parse file: {exc.msg}",
+        )
+        return [finding], FileFacts(path=posix, module=_module_of(posix)), {}
     ctx = FileContext(posix, tree, source)
     suppressed = suppressed_lines(source)
     findings: List[Finding] = []
@@ -118,15 +147,81 @@ def analyze_source(
             if "all" in codes or finding.rule in codes:
                 continue
             findings.append(finding)
+    return sorted(findings), extract_facts(ctx), suppressed
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Finding]:
+    """Run every applicable **per-file** rule over one file's source text.
+
+    ``path`` is used both for reporting and for rule scoping, so virtual
+    paths (as the fixture tests use) steer which rules run.  Project
+    rules need a whole-program index — use :func:`analyze_sources` or
+    :func:`analyze_project` for those.
+    """
+    posix = path.replace("\\", "/")
+    findings, _, _ = _analyze_one(source, posix, rules)
+    return findings
+
+
+def analyze_sources(
+    named_sources: Sequence[Tuple[str, str]],
+    rules: Sequence[Rule] = ALL_RULES,
+    project_rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
+) -> List[Finding]:
+    """Run both phases over in-memory ``(virtual_path, source)`` pairs.
+
+    The fixture tests use this to exercise cross-file rules without a
+    filesystem; results are sorted exactly like :func:`analyze_project`.
+    """
+    findings: List[Finding] = []
+    all_facts: List[FileFacts] = []
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    for path, source in sorted(named_sources):
+        posix = path.replace("\\", "/")
+        file_findings, facts, suppressed = _analyze_one(source, posix, rules)
+        findings.extend(file_findings)
+        all_facts.append(facts)
+        suppressions[posix] = suppressed
+    findings.extend(
+        _run_project_rules(ProjectIndex(all_facts), project_rules, suppressions)
+    )
     return sorted(findings)
+
+
+def _run_project_rules(
+    index: ProjectIndex,
+    project_rules: Sequence[ProjectRule],
+    suppressions: Dict[str, Dict[int, Set[str]]],
+) -> List[Finding]:
+    """Phase 2: run every project rule, honouring per-line suppressions."""
+    findings: List[Finding] = []
+    for rule in project_rules:
+        for finding in rule.check(index):
+            codes = suppressions.get(finding.path, {}).get(finding.line, set())
+            if "all" in codes or finding.rule in codes:
+                continue
+            findings.append(finding)
+    return findings
 
 
 def iter_python_files(
     paths: Sequence[str],
     excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+    excluded_paths: Iterable[str] = DEFAULT_EXCLUDED_PATHS,
 ) -> List[Path]:
-    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list.
+
+    ``excluded_dirs`` are bare directory names matched anywhere in a
+    candidate's path; ``excluded_paths`` are ``/``-joined fragments
+    matched as a contiguous path infix (scoped exclusion).
+    """
     excluded = set(excluded_dirs)
+    fragments = ["/%s/" % frag.strip("/").replace("\\", "/")
+                 for frag in excluded_paths]
     out: List[Path] = []
     seen: Set[Path] = set()
     for raw in paths:
@@ -142,6 +237,9 @@ def iter_python_files(
                 continue
             if any(part in excluded for part in candidate.parts):
                 continue
+            posix = "/" + candidate.as_posix().lstrip("/")
+            if any(frag in posix for frag in fragments):
+                continue
             if candidate in seen:
                 continue
             seen.add(candidate)
@@ -149,22 +247,82 @@ def iter_python_files(
     return sorted(out)
 
 
+@dataclass
+class AnalysisReport:
+    """Result of a full two-phase run."""
+
+    findings: List[Finding]
+    files_scanned: int
+    cache: Optional[CacheStats] = None
+
+
+def analyze_project(
+    paths: Sequence[str],
+    rules: Sequence[Rule] = ALL_RULES,
+    project_rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
+    excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+    excluded_paths: Iterable[str] = DEFAULT_EXCLUDED_PATHS,
+    cache_file: Optional[str] = None,
+) -> AnalysisReport:
+    """Analyze every python file under ``paths`` (both phases).
+
+    With ``cache_file`` set, unchanged files replay their phase-1
+    results from the cache; findings are byte-identical with and
+    without the cache (sorted output, content-addressed entries).
+    """
+    cache: Optional[AnalysisCache] = None
+    if cache_file is not None:
+        codes = [r.code for r in rules] + [r.code for r in project_rules]
+        cache = AnalysisCache(cache_file, ruleset_fingerprint(codes))
+
+    findings: List[Finding] = []
+    all_facts: List[FileFacts] = []
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    files = iter_python_files(paths, excluded_dirs, excluded_paths)
+    for file in files:
+        posix = file.as_posix()
+        blob = file.read_bytes()
+        digest = hashlib.sha256(blob).hexdigest()
+        entry = cache.lookup(posix, digest) if cache is not None else None
+        if entry is None:
+            source = blob.decode("utf-8")
+            file_findings, facts, suppressed = _analyze_one(
+                source, posix, rules
+            )
+            if cache is not None:
+                cache.store(posix, digest, file_findings, facts, suppressed)
+        else:
+            file_findings, facts, suppressed = entry
+        findings.extend(file_findings)
+        all_facts.append(facts)
+        suppressions[posix] = suppressed
+
+    findings.extend(
+        _run_project_rules(ProjectIndex(all_facts), project_rules, suppressions)
+    )
+    if cache is not None:
+        cache.save()
+    return AnalysisReport(
+        findings=sorted(findings),
+        files_scanned=len(files),
+        cache=cache.stats if cache is not None else None,
+    )
+
+
 def analyze_paths(
     paths: Sequence[str],
     rules: Sequence[Rule] = ALL_RULES,
     excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+    project_rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
 ) -> Tuple[List[Finding], int]:
-    """Analyze every python file under ``paths``.
-
-    Returns ``(findings, files_scanned)`` with findings sorted by
-    location for stable output.
-    """
-    findings: List[Finding] = []
-    files = iter_python_files(paths, excluded_dirs)
-    for file in files:
-        source = file.read_text(encoding="utf-8")
-        findings.extend(analyze_source(source, file.as_posix(), rules))
-    return sorted(findings), len(files)
+    """Back-compat wrapper: ``(findings, files_scanned)`` for both phases."""
+    report = analyze_project(
+        paths,
+        rules=rules,
+        project_rules=project_rules,
+        excluded_dirs=excluded_dirs,
+    )
+    return report.findings, report.files_scanned
 
 
 # -- baseline ------------------------------------------------------------------

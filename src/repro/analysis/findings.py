@@ -2,19 +2,30 @@
 
 A :class:`Finding` is one rule violation at one source location.  Its
 :meth:`Finding.key` identity — ``(rule, path, line)`` — is what baseline
-files (:mod:`repro.analysis.baseline`) match on, so re-running the
-analyzer on an unchanged tree always reproduces the same keys.
+files match on, so re-running the analyzer on an unchanged tree always
+reproduces the same keys.
+
+Findings carry a severity tier: ``"error"`` for violations of the
+determinism contract itself, ``"warning"`` for order-fragility that is
+deterministic today but one refactor away from drift (e.g. float sums
+over insertion-ordered dict values).  Both tiers gate the CLI exit code
+— the tree is expected to be clean of *all* findings — but reporters
+map them to the matching annotation level (GitHub ``::warning``, SARIF
+``"warning"``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
-__all__ = ["Finding", "SYNTAX_ERROR_RULE"]
+__all__ = ["Finding", "SEVERITIES", "SYNTAX_ERROR_RULE"]
 
 #: Pseudo-rule code reported when a file cannot be parsed at all.
 SYNTAX_ERROR_RULE = "RL000"
+
+#: Allowed severity tiers, strongest first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
 
 
 @dataclass(frozen=True, order=True)
@@ -30,9 +41,11 @@ class Finding:
     line, col:
         1-based line and 0-based column of the offending node.
     rule:
-        Rule code (``RL001`` … ``RL006``, or :data:`SYNTAX_ERROR_RULE`).
+        Rule code (``RL001`` … ``RL013``, or :data:`SYNTAX_ERROR_RULE`).
     message:
         Human-readable explanation with the repo-specific remedy.
+    severity:
+        ``"error"`` or ``"warning"`` (see :data:`SEVERITIES`).
     """
 
     path: str
@@ -40,10 +53,37 @@ class Finding:
     col: int
     rule: str
     message: str
+    severity: str = "error"
 
     def key(self) -> Tuple[str, str, int]:
         """Baseline identity: ``(rule, path, line)``."""
         return (self.rule, self.path, self.line)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (used by the report and the analysis cache)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+        )
+
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )

@@ -1,0 +1,67 @@
+"""The combined rule registry: per-file rules + project rules.
+
+Everything user-facing that names the rule range (CLI description,
+``--help`` epilog, package docstring) is generated from this module so
+the advertised range can never rot when a rule lands — the stale
+"RL001–RL006" strings this module replaced lived through two rule
+additions unnoticed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.analysis.project import ALL_PROJECT_RULES, ProjectRule
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULE_CODES",
+    "AnyRule",
+    "rule_catalog",
+    "rule_range",
+    "select_rules",
+]
+
+AnyRule = Union[Rule, ProjectRule]
+
+#: Every registered rule code, in code order.
+ALL_RULE_CODES: Tuple[str, ...] = tuple(
+    rule.code for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
+)
+
+
+def rule_range() -> str:
+    """The advertised range, e.g. ``"RL001-RL013"`` — always current."""
+    codes = sorted(ALL_RULE_CODES)
+    return f"{codes[0]}-{codes[-1]}" if len(codes) > 1 else codes[0]
+
+
+def rule_catalog() -> List[Tuple[str, str, str]]:
+    """(code, kind, summary) rows for every registered rule, sorted."""
+    rows = [("per-file", rule) for rule in ALL_RULES] + [
+        ("project", rule) for rule in ALL_PROJECT_RULES
+    ]
+    return sorted(
+        (rule.code, kind, rule.summary) for kind, rule in rows
+    )
+
+
+def select_rules(
+    spec: str,
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """Resolve a comma-separated code list into (per-file, project) rules.
+
+    Raises ``ValueError`` for unknown codes.
+    """
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    known = set(ALL_RULE_CODES)
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return (
+        [rule for rule in ALL_RULES if rule.code in wanted],
+        [rule for rule in ALL_PROJECT_RULES if rule.code in wanted],
+    )

@@ -1,66 +1,162 @@
-"""Reprolint output formats: human text, machine JSON, GitHub annotations."""
+"""Reprolint output formats: human text, machine JSON, GitHub annotations,
+and SARIF 2.1.0 for GitHub code scanning.
+
+All formats are deterministic (sorted findings in, canonical JSON out)
+and all carry severity: ``text`` prints it inline, ``github`` maps it to
+``::error``/``::warning`` workflow commands, ``json``/``sarif`` carry it
+as a field.  When the engine ran with a cache, the summary includes the
+hit/miss counts — CI's warm run greps for them.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis.cache import CacheStats
 from repro.analysis.findings import Finding
+from repro.analysis.registry import rule_catalog
 
 __all__ = ["render", "FORMATS"]
 
-FORMATS = ("text", "json", "github")
+FORMATS = ("text", "json", "github", "sarif")
+
+#: SARIF is pinned to the published 2.1.0 schema; the test suite
+#: validates :func:`_render_sarif` output against a vendored copy.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
-def _render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+def _cache_suffix(cache: Optional[CacheStats]) -> str:
+    if cache is None:
+        return ""
+    return f" (cache: {cache.hits} hits, {cache.misses} misses)"
+
+
+def _render_text(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    cache: Optional[CacheStats],
+) -> str:
     lines = [str(f) for f in findings]
     noun = "finding" if len(findings) == 1 else "findings"
     lines.append(
-        f"reprolint: {len(findings)} {noun} in {files_scanned} file(s) scanned"
+        f"reprolint: {len(findings)} {noun} in {files_scanned} file(s) "
+        f"scanned{_cache_suffix(cache)}"
     )
     return "\n".join(lines)
 
 
-def _render_json(findings: Sequence[Finding], files_scanned: int) -> str:
-    return json.dumps(
-        {
-            "files_scanned": files_scanned,
-            "findings": [
-                {
-                    "path": f.path,
-                    "line": f.line,
-                    "col": f.col,
-                    "rule": f.rule,
-                    "message": f.message,
-                }
-                for f in findings
-            ],
-        },
-        indent=2,
-        sort_keys=True,
-    )
+def _render_json(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    cache: Optional[CacheStats],
+) -> str:
+    payload: Dict[str, Any] = {
+        "files_scanned": files_scanned,
+        "findings": [f.to_dict() for f in findings],
+    }
+    if cache is not None:
+        payload["cache"] = {"hits": cache.hits, "misses": cache.misses}
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def _render_github(findings: Sequence[Finding], files_scanned: int) -> str:
+def _render_github(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    cache: Optional[CacheStats],
+) -> str:
     # https://docs.github.com/actions/reference/workflow-commands
     lines = [
-        f"::error file={f.path},line={f.line},col={f.col + 1},"
+        f"::{'error' if f.severity == 'error' else 'warning'} "
+        f"file={f.path},line={f.line},col={f.col + 1},"
         f"title=reprolint {f.rule}::{f.message}"
         for f in findings
     ]
     lines.append(
         f"::notice title=reprolint::{len(findings)} finding(s) in "
-        f"{files_scanned} file(s) scanned"
+        f"{files_scanned} file(s) scanned{_cache_suffix(cache)}"
     )
     return "\n".join(lines)
 
 
-def render(findings: Sequence[Finding], files_scanned: int, fmt: str) -> str:
+def _render_sarif(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    cache: Optional[CacheStats],
+) -> str:
+    """SARIF 2.1.0: one run, the full rule catalog, one result per finding."""
+    catalog = rule_catalog()
+    rule_index = {code: i for i, (code, _, _) in enumerate(catalog)}
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "properties": {"kind": kind},
+        }
+        for code, kind, summary in catalog
+    ]
+    results: List[Dict[str, Any]] = []
+    for f in findings:
+        result: Dict[str, Any] = {
+            "ruleId": f.rule,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    properties: Dict[str, Any] = {"filesScanned": files_scanned}
+    if cache is not None:
+        properties["cacheHits"] = cache.hits
+        properties["cacheMisses"] = cache.misses
+    payload = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://github.com/reassign-repro/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+                "properties": properties,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    fmt: str,
+    cache: Optional[CacheStats] = None,
+) -> str:
     """Render findings in ``fmt`` (one of :data:`FORMATS`)."""
     if fmt == "text":
-        return _render_text(findings, files_scanned)
+        return _render_text(findings, files_scanned, cache)
     if fmt == "json":
-        return _render_json(findings, files_scanned)
+        return _render_json(findings, files_scanned, cache)
     if fmt == "github":
-        return _render_github(findings, files_scanned)
+        return _render_github(findings, files_scanned, cache)
+    if fmt == "sarif":
+        return _render_sarif(findings, files_scanned, cache)
     raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")

@@ -100,7 +100,7 @@ class LearningResult:
         return [e.mean_reward for e in self.episodes]
 
     def to_json(self) -> str:
-        """Serialize for the provenance store."""
+        """Serialize for the provenance store (canonical JSON, RL009)."""
         return json.dumps(
             {
                 "plan": json.loads(self.plan.to_json()),
@@ -108,7 +108,8 @@ class LearningResult:
                 "learning_time": self.learning_time,
                 "simulated_makespan": self.simulated_makespan,
                 "qtable": json.loads(self.qtable_json),
-            }
+            },
+            sort_keys=True,
         )
 
     @classmethod

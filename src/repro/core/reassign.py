@@ -205,7 +205,10 @@ class ReassignScheduler(OnlineScheduler):
                 seed=RngService(seed).spawn_seed("qtable-b"),
                 backend=params.qtable_backend,
             )
-            self._coin = RngService(seed).stream("doubleq-coin")
+            # NOT "doubleq-coin": repro.rl.double_q owns that stream name,
+            # and sharing it would correlate the two coins under equal
+            # root seeds (RL008).
+            self._coin = RngService(seed).stream("reassign-doubleq-coin")
         else:
             self._qtable_b = None
             self._coin = None

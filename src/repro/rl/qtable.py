@@ -374,7 +374,10 @@ class QTable:
         entries = [
             [_encode_key(s), _encode_key(a), v] for s, a, v in self.items()
         ]
-        return json.dumps({"init_scale": self._init_scale, "entries": entries})
+        return json.dumps(
+            {"init_scale": self._init_scale, "entries": entries},
+            sort_keys=True,
+        )
 
     @classmethod
     def from_json(cls, text: str, seed: int = 0, backend: str = "array") -> "QTable":

@@ -159,11 +159,15 @@ class ServiceResult:
         return self.n_activations / self.end_time
 
     def utilization(self) -> float:
-        """Fleet-wide busy fraction of capacity-time over the run."""
-        capacity = sum(self.vm_capacity.values())
+        """Fleet-wide busy fraction of capacity-time over the run.
+
+        Both reductions run in sorted-key order so the float sums are
+        insensitive to dict insertion history (RL013).
+        """
+        capacity = sum(self.vm_capacity[vm] for vm in sorted(self.vm_capacity))
         if capacity == 0 or self.end_time <= 0:
             return 0.0
-        busy = sum(self.vm_busy_time.values())
+        busy = sum(self.vm_busy_time[vm] for vm in sorted(self.vm_busy_time))
         return busy / (capacity * self.end_time)
 
     def latency_percentile(self, q: float) -> float:

@@ -17,7 +17,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.util.validate import ValidationError
 
-__all__ = ["EventType", "Event", "EventQueue"]
+__all__ = ["EventType", "Event", "EventQueue", "PRIORITY_TABLE"]
 
 
 class EventType(enum.IntEnum):
@@ -25,6 +25,10 @@ class EventType(enum.IntEnum):
 
     Lower value = processed first among simultaneous events.  Completions
     precede dispatch so a core freed at time *t* can be reused at *t*.
+
+    Adding a member is a deliberate two-line change: the new entry must
+    also be added to :data:`PRIORITY_TABLE` below, which the RL011 lint
+    rule and the import-time check keep in lockstep with this enum.
     """
 
     VM_READY = 0  #: VM finished booting
@@ -35,6 +39,40 @@ class EventType(enum.IntEnum):
     DISPATCH = 5  #: scheduler decision point
     END_OF_SIMULATION = 6  #: safety horizon
     JOB_ARRIVAL = 7  #: a new job enters the streaming service
+
+
+#: Machine-readable priority table, shared by the event loop (via
+#: :class:`EventType`, validated against it at import) and by reprolint's
+#: RL011 rule, which statically checks uniqueness, ordering and
+#: enum/table agreement.  Keep entries sorted by priority.
+PRIORITY_TABLE: Tuple[Tuple[str, int], ...] = (
+    ("VM_READY", 0),
+    ("MIGRATION_END", 1),
+    ("ACTIVATION_DONE", 2),
+    ("REVOCATION", 3),
+    ("MIGRATION_START", 4),
+    ("DISPATCH", 5),
+    ("END_OF_SIMULATION", 6),
+    ("JOB_ARRIVAL", 7),
+)
+
+
+def _validate_priority_table() -> None:
+    """Fail fast (at import) if the enum and the table ever disagree."""
+    enum_pairs = tuple((member.name, int(member)) for member in EventType)
+    if enum_pairs != PRIORITY_TABLE:
+        raise ValidationError(
+            "EventType and PRIORITY_TABLE disagree: "
+            f"{enum_pairs!r} != {PRIORITY_TABLE!r}"
+        )
+    values = [value for _, value in PRIORITY_TABLE]
+    if len(set(values)) != len(values) or values != sorted(values):
+        raise ValidationError(
+            f"event priorities must be unique and ascending: {values!r}"
+        )
+
+
+_validate_priority_table()
 
 
 @dataclass

@@ -1,0 +1,9 @@
+"""RL008 fixture, module A: derives the stream name also used by module B."""
+
+from repro.util.rng import RngService
+
+
+def make_jitter(seed):
+    service = RngService(seed)
+    # "shared-jitter" collides with the derive_seed call in module B
+    return service.stream("shared-jitter"), service.stream("service-local")

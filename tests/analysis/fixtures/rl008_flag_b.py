@@ -1,0 +1,7 @@
+"""RL008 fixture, module B: derives module A's stream name directly."""
+
+from repro.util.rng import derive_seed
+
+
+def jitter_seed(root_seed):
+    return derive_seed(root_seed, "shared-jitter")

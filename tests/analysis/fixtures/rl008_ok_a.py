@@ -1,0 +1,9 @@
+"""RL008 clean twin, module A: module-prefixed stream names only."""
+
+from repro.util.rng import RngService
+
+
+def make_jitter(seed):
+    service = RngService(seed)
+    # a repeated name *within* one module is fine; collisions are cross-module
+    return service.stream("service-jitter"), service.stream("service-jitter")

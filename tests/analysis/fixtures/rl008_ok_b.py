@@ -1,0 +1,7 @@
+"""RL008 clean twin, module B: its own stream-name prefix."""
+
+from repro.util.rng import derive_seed
+
+
+def jitter_seed(root_seed):
+    return derive_seed(root_seed, "rl-jitter")

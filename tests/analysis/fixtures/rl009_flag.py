@@ -1,0 +1,20 @@
+"""RL009 fixture: non-canonical json.dumps in artifact-writing code (2 flags)."""
+
+import json
+
+
+class Record:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def to_json(self):
+        return json.dumps(self.payload)  # flag: serializer without sort_keys
+
+    def to_debug_string(self):
+        # canonical, so clean even though this module writes files
+        return json.dumps(self.payload, sort_keys=True)
+
+
+def save_state(path, data):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(data))  # flag: file-writing module

@@ -1,0 +1,16 @@
+"""RL009 clean twin: canonical JSON in serializers, no file writes."""
+
+import json
+
+
+class Record:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def to_json(self):
+        return json.dumps(self.payload, sort_keys=True)
+
+    def render(self):
+        # not a serializer name and this module never writes files, so
+        # ephemeral (debug/log) output may skip sort_keys
+        return json.dumps(self.payload)

@@ -1,0 +1,19 @@
+"""RL010 fixture: broken seed plumbing around RNG construction (3 flags)."""
+
+import numpy as np
+
+
+def make_gen():
+    return np.random.default_rng()  # flag: OS-entropy seeding
+
+
+def shuffle(items, salt):
+    rng = np.random.default_rng(salt)  # flag: 'salt' is not a seed expression
+    rng.shuffle(items)
+    return items
+
+
+def sample(seed, k):
+    # flag: accepts 'seed' but constructs the generator from a constant
+    rng = np.random.default_rng(12345)
+    return rng.integers(0, k)

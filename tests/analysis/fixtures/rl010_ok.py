@@ -1,0 +1,20 @@
+"""RL010 clean twin: every generator is grounded in a derived seed."""
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+
+def make_gen(seed):
+    return np.random.default_rng(derive_seed(seed, "fixture-gen"))
+
+
+def shuffle(items, seed):
+    rng = np.random.default_rng(seed)
+    rng.shuffle(items)
+    return items
+
+
+def sample(seed, k):
+    rng = np.random.default_rng(derive_seed(seed, "fixture-sample"))
+    return rng.integers(0, k)

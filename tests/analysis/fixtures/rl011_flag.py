@@ -1,0 +1,16 @@
+"""RL011 fixture: duplicate/out-of-order priorities, stale table (3 flags)."""
+
+from enum import IntEnum
+
+
+class BadEventType(IntEnum):
+    VM_READY = 0
+    TASK_DONE = 2
+    TASK_FAIL = 2  # flag: reuses priority 2
+    RETRY = 1  # flag: defined out of priority order
+
+
+# flag: does not match the enum (names, values, order)
+PRIORITY_TABLE = (
+    ("VM_READY", 0),
+)

@@ -1,0 +1,16 @@
+"""RL011 clean twin: unique ascending priorities with a matching table."""
+
+from enum import IntEnum
+
+
+class GoodEventType(IntEnum):
+    VM_READY = 0
+    TASK_DONE = 1
+    RETRY = 2
+
+
+PRIORITY_TABLE = (
+    ("VM_READY", 0),
+    ("TASK_DONE", 1),
+    ("RETRY", 2),
+)

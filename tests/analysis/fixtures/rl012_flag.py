@@ -1,0 +1,16 @@
+"""RL012 fixture: attribute mutations on EpisodeKernel objects (3 flags)."""
+
+from repro.sim.kernel import EpisodeKernel
+
+
+def warm_start(kernel: EpisodeKernel) -> None:
+    kernel.cache = {}  # flag: plain assignment
+    kernel.n_runs += 1  # flag: augmented assignment
+
+
+class Runner:
+    def __init__(self, kernel: "EpisodeKernel") -> None:
+        self._kernel = kernel
+
+    def reset(self) -> None:
+        self._kernel.step = 0  # flag: aliased kernel, mutated via self

@@ -1,0 +1,17 @@
+"""RL012 clean twin: kernels are read; per-episode state is mutated."""
+
+from repro.sim.kernel import EpisodeKernel, EpisodeState
+
+
+def replay(kernel: EpisodeKernel, state: EpisodeState) -> float:
+    state.clock = 0.0  # EpisodeState is the mutable half — fine
+    state.steps += 1
+    return kernel.horizon
+
+
+class Runner:
+    def __init__(self, kernel: "EpisodeKernel") -> None:
+        self._kernel = kernel
+
+    def horizon(self) -> float:
+        return self._kernel.horizon  # reads are fine

@@ -1,0 +1,14 @@
+"""RL013 fixture: float reductions over unordered collections (3 flags)."""
+
+
+def total_capacity(caps):
+    return sum({caps[k] for k in caps})  # flag (error): set expression
+
+
+def busy_seconds(times):
+    return sum(times.values())  # flag (warning): dict insertion order
+
+
+def slowest(times):
+    # flag (warning): key= makes ties resolve by iteration order
+    return max(times.values(), key=lambda t: round(t, 3))

@@ -1,0 +1,13 @@
+"""RL013 clean twin: reductions iterate sorted keys (or are order-free)."""
+
+
+def total_capacity(caps):
+    return sum(caps[k] for k in sorted(caps))
+
+
+def busy_seconds(times):
+    return sum(times[k] for k in sorted(times))
+
+
+def slowest(times):
+    return max(times.values())  # plain max of floats is order-insensitive

@@ -117,7 +117,8 @@ def test_json_format_is_machine_readable(dirty_tree, capsys):
     rules = {f["rule"] for f in payload["findings"]}
     assert rules == {"RL001", "RL002"}
     for f in payload["findings"]:
-        assert set(f) == {"path", "line", "col", "rule", "message"}
+        assert set(f) == {"path", "line", "col", "rule", "message", "severity"}
+        assert f["severity"] in {"error", "warning"}
 
 
 def test_github_format_emits_error_annotations(dirty_tree, capsys):

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 output: structural checks plus schema validation.
+
+The structural tests always run; the schema test validates against the
+vendored subset in ``sarif-2.1.0-subset.schema.json`` and is skipped
+when ``jsonschema`` is not installed (CI's test job does not ship it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import CacheStats
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ALL_RULE_CODES
+from repro.analysis.report import render
+
+SCHEMA_PATH = Path(__file__).parent / "sarif-2.1.0-subset.schema.json"
+
+FINDINGS = [
+    Finding(
+        path="src/repro/sim/x.py",
+        line=3,
+        col=8,
+        rule="RL002",
+        message="wall-clock read",
+    ),
+    Finding(
+        path="src/repro/service/metrics.py",
+        line=12,
+        col=0,
+        rule="RL013",
+        message="sum over dict.values()",
+        severity="warning",
+    ),
+]
+
+
+def _log(findings=FINDINGS, cache=None):
+    return json.loads(render(findings, 2, "sarif", cache))
+
+
+def test_sarif_envelope():
+    log = _log()
+    assert log["version"] == "2.1.0"
+    assert log["$schema"] == "https://json.schemastore.org/sarif-2.1.0.json"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    assert run["columnKind"] == "utf16CodeUnits"
+    assert run["properties"]["filesScanned"] == 2
+
+
+def test_sarif_rule_catalog_covers_every_rule():
+    (run,) = _log()["runs"]
+    ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert ids == sorted(ALL_RULE_CODES)
+    for rule in run["tool"]["driver"]["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["properties"]["kind"] in {"per-file", "project"}
+
+
+def test_sarif_results_carry_location_level_and_rule_index():
+    (run,) = _log()["runs"]
+    first, second = run["results"]
+    assert first["ruleId"] == "RL002" and first["level"] == "error"
+    assert second["ruleId"] == "RL013" and second["level"] == "warning"
+    region = first["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 3
+    assert region["startColumn"] == 9  # SARIF columns are 1-based
+    rules = run["tool"]["driver"]["rules"]
+    assert rules[first["ruleIndex"]]["id"] == "RL002"
+
+
+def test_sarif_carries_cache_counters():
+    (run,) = _log(cache=CacheStats(hits=5, misses=2))["runs"]
+    assert run["properties"]["cacheHits"] == 5
+    assert run["properties"]["cacheMisses"] == 2
+
+
+def test_sarif_is_deterministic():
+    assert render(FINDINGS, 2, "sarif") == render(list(FINDINGS), 2, "sarif")
+
+
+@pytest.mark.parametrize("findings", [[], FINDINGS])
+def test_sarif_validates_against_vendored_schema(findings):
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    jsonschema.validate(_log(findings, cache=CacheStats(1, 1)), schema)
+
+
+def test_vendored_schema_rejects_a_bad_log():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    bad = _log()
+    bad["runs"][0]["results"][0]["level"] = "fatal"  # not a SARIF level
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate(bad, schema)

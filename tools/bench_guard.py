@@ -50,6 +50,9 @@ GUARDED: Dict[str, List[str]] = {
         "service_vs_serial_ratio",
         "fleet_utilization",
     ],
+    # Warm (cache replay) vs cold (full parse) analyzer run, same
+    # process/host (see benchmarks/test_reprolint_throughput.py).
+    "results/BENCH_reprolint_throughput.json": ["warm_vs_cold_ratio"],
 }
 
 

@@ -676,6 +676,93 @@ class RuleRL007(Rule):
                 )
 
 
+# -- RL014: Python loops over batch axes --------------------------------------
+
+
+class RuleRL014(Rule):
+    """No per-lane Python loops over batch axes in sim/rl hot paths.
+
+    The lockstep engine advances B lanes through ``(B,)``-shaped numpy
+    views (:class:`repro.sim.kernel.BatchEpisodeState`).  A Python
+    ``for`` (or comprehension) over ``X.lanes``, ``range(X.batch)`` or
+    ``range(len(X.lanes))`` re-introduces per-lane interpreter cost on
+    exactly the axis the batched engine amortizes — at B lanes times E
+    episodes, a stray scalar loop undoes the lockstep dividend.  Write
+    the operation as one vectorized numpy expression over the batch
+    arrays instead.
+    """
+
+    code = "RL014"
+    summary = "Python loop over a batch axis; vectorize over the (B,) arrays"
+
+    def applies(self, path: str) -> bool:
+        return in_subpackages(path, ("sim", "rl"))
+
+    @staticmethod
+    def _lane_aliases(tree: ast.Module) -> Set[str]:
+        """Names assigned from an ``<expr>.lanes`` attribute read."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if isinstance(value, ast.Attribute) and value.attr == "lanes":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        return aliases
+
+    @staticmethod
+    def _is_lanes(node: ast.expr, aliases: Set[str]) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "lanes":
+            return True
+        return isinstance(node, ast.Name) and node.id in aliases
+
+    def _is_batch_iter(self, node: ast.expr, aliases: Set[str]) -> bool:
+        if self._is_lanes(node, aliases):
+            return True
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            return False
+        fn = node.func.id
+        if fn == "enumerate":
+            return bool(node.args) and self._is_lanes(node.args[0], aliases)
+        if fn != "range":
+            return False
+        for arg in node.args:
+            if isinstance(arg, ast.Attribute) and arg.attr == "batch":
+                return True
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+                and arg.args
+                and self._is_lanes(arg.args[0], aliases)
+            ):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = self._lane_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            iters: List[Tuple[ast.AST, ast.expr]] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [(node, node.iter)]
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                iters = [(gen.iter, gen.iter) for gen in node.generators]
+            for anchor, it in iters:
+                if self._is_batch_iter(it, aliases):
+                    yield ctx.finding(
+                        anchor,
+                        self.code,
+                        "per-lane Python loop over a batch axis "
+                        "('.lanes' / 'range(.batch)'); vectorize over "
+                        "the (B,)-shaped batch arrays instead",
+                    )
+
+
 #: The default rule registry, in code order.
 ALL_RULES: Tuple[Rule, ...] = (
     RuleRL001(),
@@ -685,4 +772,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     RuleRL005(),
     RuleRL006(),
     RuleRL007(),
+    RuleRL014(),
 )

@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.reassign import ReassignLearner, ReassignParams
+from repro.core.reassign import ReassignParams
 from repro.dag.analysis import profile_dag
 from repro.dag.dax import write_dax
 from repro.experiments.environments import fleet_for, fleet_spec_for, render_table1
@@ -74,6 +74,19 @@ def _make_online_scheduler(name: str, seed: int):
     return factory()
 
 
+def _batch_arg(value: str) -> int:
+    """Parse/validate ``--batch``: a clean error instead of a traceback."""
+    try:
+        batch = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch must be an integer >= 1, got {value!r}"
+        )
+    if batch < 1:
+        raise argparse.ArgumentTypeError(f"batch must be >= 1, got {batch}")
+    return batch
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -101,7 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
     p.add_argument("--gantt", action="store_true", help="print a Gantt chart")
 
-    p = sub.add_parser("learn", help="run ReASSIgN (Algorithm 2)")
+    def add_batch_arg(p, what: str):
+        p.add_argument(
+            "--batch", type=_batch_arg, default=8, metavar="B",
+            help=f"lockstep lanes per batched-engine task: up to B {what} "
+                 "advance through one shared simulation kernel per step "
+                 "(results are bit-identical for every B; 1 = the serial "
+                 "one-run-per-task path; default 8)",
+        )
+
+    p = sub.add_parser(
+        "learn",
+        help="run ReASSIgN (Algorithm 2) through the batched engine",
+    )
     add_workflow_args(p)
     p.add_argument("--vcpus", type=int, default=16, choices=(16, 32, 64))
     p.add_argument("--alpha", type=float, default=0.5)
@@ -109,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.1)
     p.add_argument("--episodes", type=int, default=100)
     p.add_argument("--plan-out", metavar="PATH", help="write plan JSON here")
+    p.add_argument(
+        "--batch", type=_batch_arg, default=1, metavar="B",
+        help="batched-engine lane budget; a single learn run always "
+             "occupies one lane, and any B >= 1 yields bit-identical "
+             "results (the flag mirrors sweep/ensemble; default 1)",
+    )
 
     p = sub.add_parser("pipeline", help="full SciCumulus-RL pipeline")
     add_workflow_args(p)
@@ -132,8 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     add_workers_arg(p)
 
-    p = sub.add_parser("sweep",
-                       help="run the Tables II/III sweep (optionally reduced)")
+    p = sub.add_parser(
+        "sweep",
+        help="run the Tables II/III sweep on the batched lockstep engine "
+             "(optionally reduced)",
+    )
     p.add_argument("--episodes", type=int, default=100)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--vcpus", type=int, nargs="+", default=[16, 32, 64],
@@ -145,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Table II metric: wall clock or the deterministic "
                         "simulated learning time")
     add_workers_arg(p)
+    add_batch_arg(p, "grid cells")
 
     p = sub.add_parser("ensemble",
                        help="learn plans for a workflow ensemble campaign")
@@ -155,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--episodes", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
     add_workers_arg(p)
+    add_batch_arg(p, "ensemble members")
 
     p = sub.add_parser(
         "serve",
@@ -237,11 +273,16 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_learn(args) -> int:
+    from repro.core.batch import BatchSpec, learn_batch
+
     wf = make_workflow(args.workflow, args.size, seed=args.seed)
     fleet = fleet_for(args.vcpus)
     params = ReassignParams(alpha=args.alpha, gamma=args.gamma,
                             epsilon=args.epsilon, episodes=args.episodes)
-    result = ReassignLearner(wf, fleet, params, seed=args.seed).learn()
+    # one run = one lane of the batched engine (bit-identical to the
+    # serial ReassignLearner.learn() path for any --batch value)
+    spec = BatchSpec(workflow=wf, vms=fleet, params=params, seed=args.seed)
+    result = learn_batch([spec])[0]
     print(f"learned {wf.name} on {args.vcpus} vCPUs [{params.label()}]")
     print(f"learning time     = {result.learning_time:.2f}s "
           f"({result.n_episodes} episodes)")
@@ -321,6 +362,7 @@ def _cmd_sweep(args) -> int:
         workers=args.workers,
         timing=args.timing,
         progress=progress,
+        batch=args.batch,
     )
     print()
     print(sweep.render_table2())
@@ -339,6 +381,7 @@ def _cmd_ensemble(args) -> int:
         episodes=args.episodes,
         seed=args.seed,
         workers=args.workers,
+        batch=args.batch,
     )
     print(render_table(
         ["member", "workflow", "seed", "simulated makespan [s]"],

@@ -126,10 +126,12 @@ class ReassignParams:
     #: reward responsive — mitigates the stale-history lock-in that
     #: degrades late episodes on some workloads; see EXPERIMENTS.md)
     reward_memory: str = "full"
-    #: Q-table storage backend: "array" (interned dense fast path) or
-    #: "dict" (legacy sparse table).  Bit-identical results either way;
-    #: the dict path is kept as an escape hatch and as the reference the
-    #: equivalence suite checks against (see docs/performance.md).
+    #: Q-table storage backend: "array" (interned dense fast path),
+    #: "shard" (sharded, optionally memmap-backed dense storage — see
+    #: repro.rl.qshard) or "dict" (legacy sparse table).  Bit-identical
+    #: results in all three; the dict path is kept as an escape hatch
+    #: and as the reference the equivalence suite checks against (see
+    #: docs/performance.md).
     qtable_backend: str = "array"
 
     def __post_init__(self) -> None:
@@ -152,9 +154,10 @@ class ReassignParams:
             raise ValidationError(
                 f"reward_memory must be full/episode, got {self.reward_memory!r}"
             )
-        if self.qtable_backend not in ("array", "dict"):
+        if self.qtable_backend not in ("array", "dict", "shard"):
             raise ValidationError(
-                f"qtable_backend must be array/dict, got {self.qtable_backend!r}"
+                f"qtable_backend must be array/dict/shard, "
+                f"got {self.qtable_backend!r}"
             )
 
     def label(self) -> str:
@@ -225,7 +228,9 @@ class ReassignScheduler(OnlineScheduler):
             )
         else:  # pure exploitation (greedy replay)
             self.policy = EpsilonGreedyPolicy(1.0)
-        self._rng = RngService(seed).stream("reassign-policy")
+        # repro.core.batch's fused fast path replays this exact stream
+        # (bit-identity contract), so the name is shared by design
+        self._rng = RngService(seed).stream("reassign-policy")  # reprolint: disable=RL008
         # per-episode state
         self._t = 1
         self._steps = 0
@@ -497,6 +502,31 @@ class ReassignLearner:
     def _build_kernel(self) -> EpisodeKernel:
         return EpisodeKernel(self.workflow, self.vms, **self._sim_kwargs)
 
+    def adopt_kernel(self, kernel: EpisodeKernel, fingerprint: str) -> None:
+        """Adopt an externally built kernel (batched-engine sharing).
+
+        :func:`repro.core.batch.learn_batch` groups lanes by kernel
+        fingerprint and builds one kernel per group; the other lanes
+        adopt it through here.  ``fingerprint`` is the
+        :func:`~repro.sim.kernel.kernel_fingerprint` of the
+        configuration that built ``kernel``; it must equal this
+        learner's own — episodes only reset the O(n) mutable state, so
+        a structurally different kernel would silently change every
+        simulated number.
+        """
+        if self._kernel is not None:
+            raise ValidationError(
+                "learner already has a kernel; adopt_kernel must run "
+                "before the first episode"
+            )
+        mine = self.kernel_fingerprint()
+        if mine is None or mine != fingerprint:
+            raise ValidationError(
+                "kernel fingerprint mismatch; cannot adopt a kernel "
+                "built for a different configuration"
+            )
+        self._kernel = kernel
+
     @property
     def kernel(self) -> EpisodeKernel:
         """The learner's episode kernel (built lazily, reused per episode).
@@ -596,7 +626,9 @@ class ReassignLearner:
             learning=False,
         )
         result = self.kernel.run_episode(
-            greedy, RngService(self.seed).spawn_seed("greedy")
+            # repro.core.batch's greedy fallback replays this seed name
+            greedy,
+            RngService(self.seed).spawn_seed("greedy"),  # reprolint: disable=RL008
         )
         if not result.succeeded:
             raise ValidationError(

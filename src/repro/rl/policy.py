@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Hashable, List
+from typing import Hashable, List, Optional
 
 import numpy as np
 
@@ -74,6 +74,34 @@ class EpsilonGreedyPolicy(ActionPolicy):
         if rng.random() < self._exploit_probability():
             return qtable.best_action(state, actions, rng)
         return actions[int(rng.integers(len(actions)))]
+
+    def choose_batch(
+        self,
+        qtables: List[QTable],
+        state: Hashable,
+        action_batches: List[List[Hashable]],
+        rngs: List[np.random.Generator],
+    ) -> List[Optional[Hashable]]:
+        """ε-greedy selection for B lockstep lanes in one call.
+
+        One decision per lane, in lane order.  The per-lane RNG streams
+        are part of the bit-identity contract — lane b's draws must not
+        depend on B — so the exploration coins cannot be fused into one
+        vectorized draw; what *is* batched is the Q-value read inside
+        each exploitation, which is a single numpy gather over the
+        lane's interned dense row (``QTable.best_action``).  Lanes with
+        an empty action batch yield ``None`` ("do nothing").
+        """
+        if not (len(qtables) == len(action_batches) == len(rngs)):
+            raise ValidationError(
+                "choose_batch needs one qtable, action batch and rng "
+                f"per lane: got {len(qtables)}/{len(action_batches)}/"
+                f"{len(rngs)}"
+            )
+        return [
+            self.choose(qtable, state, actions, rng) if actions else None
+            for qtable, actions, rng in zip(qtables, action_batches, rngs)
+        ]
 
 
 class DecayingEpsilonPolicy(EpsilonGreedyPolicy):

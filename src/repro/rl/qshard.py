@@ -1,0 +1,272 @@
+"""Sharded dense Q-storage (the ``backend="shard"`` QTable backend).
+
+A :class:`ShardStore` holds the same (states x actions) dense Q/known
+matrices as the ``array`` backend, but partitioned along the interned
+*state-id* axis into fixed-size shards of ``shard_rows`` rows each:
+
+    shard 0: state ids [0, shard_rows)
+    shard 1: state ids [shard_rows, 2 * shard_rows)
+    ...
+
+Growth along the state axis *appends* shards instead of reallocating
+and copying the whole table, so million-state tables (large workflows x
+rich state ablations) grow in O(shard) steps.  Each shard's Q-values
+can optionally be backed by ``numpy.memmap`` (pass ``directory``), in
+which case the values live in page cache instead of process RAM; the
+boolean lazy-init mask always stays in RAM (it is 8x smaller and hit on
+every access).
+
+Bit-identity: the store is pure storage.  Which entry is initialized
+when — and therefore every draw from the Q-init stream — is decided by
+:class:`~repro.rl.qtable.QTable`, so ``array`` and ``shard`` backends
+produce byte-identical learning results (pinned by the Hypothesis suite
+in ``tests/test_qshard.py``).
+
+Persistence: :meth:`save` / :meth:`load` write one ``.npz`` per shard
+plus a canonical-JSON ``manifest.json`` (sorted keys) describing the
+layout; :meth:`repro.rl.qtable.QTable.save_shards` adds the interning
+maps to the same manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.util.validate import ValidationError
+
+__all__ = ["ShardStore", "DEFAULT_SHARD_ROWS", "MANIFEST_NAME"]
+
+#: Default rows (interned state ids) per shard.  Small enough that the
+#: append-only growth never over-allocates much, large enough that a
+#: Montage-sized table fits in one shard.
+DEFAULT_SHARD_ROWS = 256
+
+#: Manifest filename inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Minimum allocated action columns (mirrors the array backend's
+#: geometric column growth floor).
+_MIN_COLS = 16
+
+
+def _shard_filename(index: int) -> str:
+    return f"shard-{index:05d}.npz"
+
+
+class ShardStore:
+    """Fixed-size numpy shards over the interned state-id axis.
+
+    Parameters
+    ----------
+    shard_rows:
+        Rows (state ids) per shard; fixed for the store's lifetime.
+    directory:
+        When given, each shard's Q-values are a ``numpy.memmap`` over
+        ``<directory>/shard-NNNNN.dat`` instead of a RAM array.  The
+        directory is created on first allocation.
+    """
+
+    def __init__(
+        self,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        directory: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if shard_rows < 1:
+            raise ValidationError("shard_rows must be >= 1")
+        self.shard_rows = int(shard_rows)
+        self._dir: Optional[Path] = (
+            Path(directory) if directory is not None else None
+        )
+        self._cols = 0
+        self._q: List[np.ndarray] = []
+        self._known: List[np.ndarray] = []
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._q)
+
+    @property
+    def rows(self) -> int:
+        """Allocated rows (state-id capacity)."""
+        return len(self._q) * self.shard_rows
+
+    @property
+    def cols(self) -> int:
+        """Allocated columns (action-id capacity)."""
+        return self._cols
+
+    @property
+    def memmapped(self) -> bool:
+        return self._dir is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage bytes (memmap shards count their mapped size)."""
+        return sum(
+            q.nbytes + k.nbytes for q, k in zip(self._q, self._known)
+        )
+
+    # -- allocation -------------------------------------------------------
+
+    def _new_q(self, index: int, cols: int) -> np.ndarray:
+        if self._dir is None:
+            return np.zeros((self.shard_rows, cols), dtype=np.float64)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._dir / f"shard-{index:05d}.dat"
+        mm = np.memmap(
+            path, dtype=np.float64, mode="w+", shape=(self.shard_rows, cols)
+        )
+        mm[:] = 0.0
+        return mm
+
+    def ensure_rows(self, rows: int) -> None:
+        """Append shards until at least ``rows`` state ids fit.
+
+        Never copies existing shards — state-axis growth is append-only.
+        """
+        cols = self._cols if self._cols else _MIN_COLS
+        while self.rows < rows:
+            index = len(self._q)
+            self._q.append(self._new_q(index, cols))
+            self._known.append(
+                np.zeros((self.shard_rows, cols), dtype=bool)
+            )
+        if self._cols == 0 and self._q:
+            self._cols = cols
+
+    def ensure_cols(self, cols: int) -> None:
+        """Grow every shard's action axis to at least ``cols``.
+
+        Geometric doubling, mirroring the array backend; each shard is
+        reallocated (memmap shards are rewritten in place after copying
+        the old values out), so column growth is rare by construction.
+        """
+        if cols <= self._cols:
+            return
+        new_c = max(cols, _MIN_COLS)
+        if self._cols:
+            new_c = max(new_c, 2 * self._cols)
+        old_c = self._cols
+        for i in range(len(self._q)):
+            old_q = np.array(self._q[i][:, :old_c])  # copy out of any memmap
+            q = self._new_q(i, new_c)
+            if old_c:
+                q[:, :old_c] = old_q
+            self._q[i] = q
+            known = np.zeros((self.shard_rows, new_c), dtype=bool)
+            if old_c:
+                known[:, :old_c] = self._known[i][:, :old_c]
+            self._known[i] = known
+        # with no shards yet the loop is a no-op and this just records
+        # the width the first ensure_rows() allocation will use
+        self._cols = new_c
+
+    # -- row access -------------------------------------------------------
+
+    def q_row(self, sid: int) -> np.ndarray:
+        """The Q-value row for state id ``sid`` (a writable view)."""
+        shard, off = divmod(sid, self.shard_rows)
+        return self._q[shard][off]
+
+    def known_row(self, sid: int) -> np.ndarray:
+        """The lazy-init mask row for state id ``sid`` (writable view)."""
+        shard, off = divmod(sid, self.shard_rows)
+        return self._known[shard][off]
+
+    # -- copy / persistence ----------------------------------------------
+
+    def copy(self) -> "ShardStore":
+        """Independent in-memory copy (memmap backing is not copied)."""
+        out = ShardStore(shard_rows=self.shard_rows)
+        out._cols = self._cols
+        out._q = [np.array(q) for q in self._q]
+        out._known = [k.copy() for k in self._known]
+        return out
+
+    def save(
+        self,
+        directory: Union[str, Path],
+        rows_used: int,
+        cols_used: int,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Write used shards as ``.npz`` plus a canonical-JSON manifest.
+
+        Only shards covering ``rows_used`` states are written, trimmed
+        to ``cols_used`` action columns.  Returns the manifest path.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        n_shards = -(-rows_used // self.shard_rows) if rows_used else 0
+        shards: List[Dict[str, Any]] = []
+        for i in range(n_shards):
+            lo = i * self.shard_rows
+            used = min(self.shard_rows, rows_used - lo)
+            name = _shard_filename(i)
+            np.savez(
+                target / name,
+                q=np.asarray(self._q[i][:used, :cols_used]),
+                known=self._known[i][:used, :cols_used],
+            )
+            shards.append({"file": name, "rows": used})
+        manifest: Dict[str, Any] = {
+            "format": "qtable-shard-v1",
+            "shard_rows": self.shard_rows,
+            "n_states": rows_used,
+            "n_actions": cols_used,
+            "shards": shards,
+        }
+        if extra:
+            manifest.update(extra)
+        path = target / MANIFEST_NAME
+        path.write_text(
+            json.dumps(manifest, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        directory_backing: Optional[Union[str, Path]] = None,
+    ) -> Tuple["ShardStore", Dict[str, Any]]:
+        """Restore a store saved by :meth:`save`.
+
+        Returns ``(store, manifest)`` — the manifest carries any extra
+        keys the saver attached (QTable adds its interning maps).
+        ``directory_backing`` re-memmaps the restored values there.
+        """
+        source = Path(directory)
+        try:
+            manifest: Dict[str, Any] = json.loads(
+                (source / MANIFEST_NAME).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"unreadable shard manifest in {source}: {exc}"
+            ) from exc
+        if manifest.get("format") != "qtable-shard-v1":
+            raise ValidationError(
+                f"unsupported shard manifest format {manifest.get('format')!r}"
+            )
+        store = cls(
+            shard_rows=int(manifest["shard_rows"]),
+            directory=directory_backing,
+        )
+        n_states = int(manifest["n_states"])
+        n_actions = int(manifest["n_actions"])
+        store.ensure_rows(n_states)
+        store.ensure_cols(n_actions)
+        for i, entry in enumerate(manifest["shards"]):
+            with np.load(source / str(entry["file"])) as data:
+                used = int(entry["rows"])
+                store._q[i][:used, :n_actions] = data["q"]
+                store._known[i][:used, :n_actions] = data["known"]
+        return store, manifest

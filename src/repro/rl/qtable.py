@@ -1,8 +1,8 @@
 """Tabular action-value storage.
 
 The paper's evaluation table "Q: S x A" maps (workflow state, schedule
-action) to a value.  :class:`QTable` stores that table behind one of two
-interchangeable backends:
+action) to a value.  :class:`QTable` stores that table behind one of
+three interchangeable backends:
 
 - ``backend="array"`` (the default) interns states and actions to
   contiguous integer ids and keeps the Q-values in a growable dense
@@ -10,9 +10,15 @@ interchangeable backends:
   ``best_action`` become masked vector reductions over precomputed
   action-id slices, which is what makes the ReASSIgN decision loop fast
   (see ``docs/performance.md``).
+- ``backend="shard"`` keeps the same interned dense layout but
+  partitions the state-id axis into fixed-size numpy shards
+  (:mod:`repro.rl.qshard`): state-axis growth appends shards instead of
+  copying the whole table, shards can be ``numpy.memmap``-backed, and
+  the table saves/loads shard-by-shard via a canonical-JSON manifest
+  (:meth:`QTable.save_shards` / :meth:`QTable.load_shards`).
 - ``backend="dict"`` is the legacy sparse dict-backed table, kept as an
   escape hatch and as the reference the equivalence suite compares the
-  array backend against.
+  dense backends against.
 
 Both backends are **bit-identical**: unseen entries are initialized *at
 random* on first touch — "Start Q(s, a) for all s, a at random"
@@ -26,10 +32,22 @@ states and ``(activation_id, vm_id)`` tuples.
 from __future__ import annotations
 
 import json
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
+from repro.rl.qshard import DEFAULT_SHARD_ROWS, ShardStore
 from repro.util.rng import RngService
 from repro.util.validate import ValidationError
 
@@ -39,7 +57,7 @@ State = Hashable
 Action = Hashable
 
 #: Backends accepted by :class:`QTable`.
-_BACKENDS = ("array", "dict")
+_BACKENDS = ("array", "dict", "shard")
 
 #: Action-id slices memoized per actions-tuple identity (see
 #: ``QTable._action_slice``).  Sized to cover the working set of
@@ -86,18 +104,34 @@ class QTable:
         Seed for the initialization stream.
     backend:
         ``"array"`` (default) for the interned dense storage,
-        ``"dict"`` for the legacy sparse table.  Results are
-        bit-identical either way.
+        ``"shard"`` for the sharded, optionally memmap-backed dense
+        storage, ``"dict"`` for the legacy sparse table.  Results are
+        bit-identical in all three.
+    shard_rows / shard_dir:
+        ``"shard"`` backend only: rows per shard and an optional
+        directory for ``numpy.memmap``-backed shards
+        (see :mod:`repro.rl.qshard`).
     """
 
     def __init__(
-        self, init_scale: float = 1e-3, seed: int = 0, backend: str = "array"
+        self,
+        init_scale: float = 1e-3,
+        seed: int = 0,
+        backend: str = "array",
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        shard_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if init_scale < 0:
             raise ValidationError("init_scale must be >= 0")
         if backend not in _BACKENDS:
+            allowed = ", ".join(repr(b) for b in sorted(_BACKENDS))
             raise ValidationError(
-                f"backend must be one of {_BACKENDS}, got {backend!r}"
+                f"backend must be one of {allowed}, got {backend!r}"
+            )
+        if shard_dir is not None and backend != "shard":
+            raise ValidationError(
+                f"shard_dir is only valid with backend='shard', "
+                f"got backend={backend!r}"
             )
         self._backend = backend
         self._init_scale = float(init_scale)
@@ -110,9 +144,16 @@ class QTable:
             self._states: List[State] = []
             self._action_ids: Dict[Action, int] = {}
             self._actions: List[Action] = []
-            # dense storage: Q-values + "has been touched" mask
-            self._q = np.zeros((0, 0), dtype=np.float64)
-            self._known = np.zeros((0, 0), dtype=bool)
+            # dense storage: Q-values + "has been touched" mask.  The
+            # shard backend swaps the monolithic arrays for a
+            # ShardStore; everything above the row level is shared.
+            if backend == "shard":
+                self._store = ShardStore(
+                    shard_rows=shard_rows, directory=shard_dir
+                )
+            else:
+                self._q = np.zeros((0, 0), dtype=np.float64)
+                self._known = np.zeros((0, 0), dtype=bool)
             self._n_known = 0
             # id(actions-tuple) -> (strong ref, action-id array, action
             # ids as a plain int list, set of state ids already
@@ -126,8 +167,39 @@ class QTable:
 
     @property
     def backend(self) -> str:
-        """The storage backend this table runs on (``array``/``dict``)."""
+        """The storage backend (``array``/``dict``/``shard``)."""
         return self._backend
+
+    def stats(self) -> Dict[str, Any]:
+        """Size counters for sweep logs: interned ids, entries, bytes.
+
+        ``nbytes`` is the dense storage footprint (Q-values + lazy-init
+        mask); the dict backend has no dense storage and reports
+        ``None``.  The shard backend adds its shard geometry so memmap
+        growth is observable.
+        """
+        if self._backend == "dict":
+            return {
+                "backend": self._backend,
+                "n_states": len({s for (s, _a) in self._values}),
+                "n_actions": len({a for (_s, a) in self._values}),
+                "n_known": len(self._values),
+                "nbytes": None,
+            }
+        out: Dict[str, Any] = {
+            "backend": self._backend,
+            "n_states": len(self._states),
+            "n_actions": len(self._actions),
+            "n_known": self._n_known,
+        }
+        if self._backend == "shard":
+            out["nbytes"] = self._store.nbytes
+            out["n_shards"] = self._store.n_shards
+            out["shard_rows"] = self._store.shard_rows
+            out["memmapped"] = self._store.memmapped
+        else:
+            out["nbytes"] = int(self._q.nbytes + self._known.nbytes)
+        return out
 
     def __len__(self) -> int:
         if self._backend == "dict":
@@ -159,7 +231,9 @@ class QTable:
             sid = len(self._states)
             self._state_ids[state] = sid
             self._states.append(state)
-            if sid >= self._q.shape[0]:
+            if self._backend == "shard":
+                self._store.ensure_rows(sid + 1)
+            elif sid >= self._q.shape[0]:
                 self._grow(sid + 1, self._q.shape[1])
         return sid
 
@@ -169,7 +243,9 @@ class QTable:
             aid = len(self._actions)
             self._action_ids[action] = aid
             self._actions.append(action)
-            if aid >= self._q.shape[1]:
+            if self._backend == "shard":
+                self._store.ensure_cols(aid + 1)
+            elif aid >= self._q.shape[1]:
                 self._grow(self._q.shape[0], aid + 1)
         return aid
 
@@ -190,7 +266,11 @@ class QTable:
             memo = self._id_memo.get(id(actions))
             if memo is not None and memo[0] is actions:
                 return memo
-        id_list = [self._action_id(a) for a in actions]
+        act_get = self._action_ids.get
+        id_list = [
+            aid if (aid := act_get(a)) is not None else self._action_id(a)
+            for a in actions
+        ]
         ids = np.array(id_list, dtype=np.intp)
         entry = (tuple(actions), ids, id_list, set())
         if is_tuple:
@@ -205,11 +285,20 @@ class QTable:
         One ``uniform`` call per fresh entry, in the order the actions
         appear — the exact draw sequence of the dict backend's per-entry
         first touch (duplicates are re-checked so they draw only once).
+        Storage-agnostic: the draw order depends only on the visit
+        order, so array and shard backends stay bit-identical.
         """
-        known = self._known[sid]
+        if self._backend == "shard":
+            known = self._store.known_row(sid)
+        else:
+            known = self._known[sid]
         fresh = np.flatnonzero(~known[aids])
         if fresh.size:
-            q = self._q[sid]
+            q = (
+                self._store.q_row(sid)
+                if self._backend == "shard"
+                else self._q[sid]
+            )
             scale = self._init_scale
             rng = self._rng
             for pos in fresh:
@@ -232,6 +321,16 @@ class QTable:
             return v
         sid = self._state_id(state)
         aid = self._action_id(action)
+        if self._backend == "shard":
+            qrow = self._store.q_row(sid)
+            krow = self._store.known_row(sid)
+            if krow[aid]:
+                return float(qrow[aid])
+            v = float(self._rng.uniform(0.0, self._init_scale))
+            qrow[aid] = v
+            krow[aid] = True
+            self._n_known += 1
+            return v
         if self._known[sid, aid]:
             return float(self._q[sid, aid])
         v = float(self._rng.uniform(0.0, self._init_scale))
@@ -246,7 +345,13 @@ class QTable:
             return self._values.get((state, action))
         sid = self._state_ids.get(state)
         aid = self._action_ids.get(action)
-        if sid is None or aid is None or not self._known[sid, aid]:
+        if sid is None or aid is None:
+            return None
+        if self._backend == "shard":
+            if not self._store.known_row(sid)[aid]:
+                return None
+            return float(self._store.q_row(sid)[aid])
+        if not self._known[sid, aid]:
             return None
         return float(self._q[sid, aid])
 
@@ -257,6 +362,13 @@ class QTable:
             return
         sid = self._state_id(state)
         aid = self._action_id(action)
+        if self._backend == "shard":
+            krow = self._store.known_row(sid)
+            if not krow[aid]:
+                krow[aid] = True
+                self._n_known += 1
+            self._store.q_row(sid)[aid] = float(value)
+            return
         if not self._known[sid, aid]:
             self._known[sid, aid] = True
             self._n_known += 1
@@ -267,6 +379,9 @@ class QTable:
         new = self.value(state, action) + float(delta)
         if self._backend == "dict":
             self._values[(state, action)] = new
+        elif self._backend == "shard":
+            sid = self._state_ids[state]
+            self._store.q_row(sid)[self._action_ids[action]] = new
         else:
             self._q[self._state_ids[state], self._action_ids[action]] = new
         return new
@@ -295,7 +410,11 @@ class QTable:
         if sid not in ensured:
             self._ensure_known(sid, aids)
             ensured.add(sid)
-        row = self._q[sid]
+        row = (
+            self._store.q_row(sid)
+            if self._backend == "shard"
+            else self._q[sid]
+        )
         if len(id_list) < _SCALAR_REDUCTION_LIMIT:
             # scalar loop beats numpy call overhead on tiny slices; the
             # result is the same float either way (a max is a max)
@@ -333,7 +452,11 @@ class QTable:
         if sid not in ensured:
             self._ensure_known(sid, aids)
             ensured.add(sid)
-        row = self._q[sid]
+        row = (
+            self._store.q_row(sid)
+            if self._backend == "shard"
+            else self._q[sid]
+        )
         # same float comparisons as the dict path: max, then the
         # >= top - 1e-15 tie band, then one draw over the tie count
         if len(id_list) < _SCALAR_REDUCTION_LIMIT:
@@ -349,10 +472,82 @@ class QTable:
             return actions[int(ties[0])]
         return actions[int(ties[int(rng.integers(ties.size))])]
 
+    def gather(self, state: State, actions: Sequence[Action]) -> np.ndarray:
+        """Q(s, a) over an action batch as one numpy gather.
+
+        Lazy-initializes fresh entries first, in action order — the
+        same draw sequence as per-action :meth:`value` calls — then
+        reads the whole batch with a single ``take`` over the interned
+        dense row.  This is the gather primitive of the batched
+        engine's vectorized selection/update kernels.
+        """
+        if self._backend == "dict":
+            return np.array(
+                [self.value(state, a) for a in actions], dtype=np.float64
+            )
+        if not actions:
+            return np.zeros(0, dtype=np.float64)
+        sid = self._state_id(state)
+        _, aids, _id_list, ensured = self._action_slice(actions)
+        if sid not in ensured:
+            self._ensure_known(sid, aids)
+            ensured.add(sid)
+        row = (
+            self._store.q_row(sid)
+            if self._backend == "shard"
+            else self._q[sid]
+        )
+        return row.take(aids)
+
+    def scatter(
+        self, state: State, actions: Sequence[Action], values: np.ndarray
+    ) -> None:
+        """Overwrite Q(s, a) over an action batch in one numpy scatter.
+
+        The batch counterpart of :meth:`set`.  Duplicate actions in the
+        batch resolve to the last written value (numpy fancy-assignment
+        semantics match a sequential loop there).
+        """
+        if len(actions) != len(values):
+            raise ValidationError(
+                f"scatter needs one value per action: "
+                f"{len(actions)} actions, {len(values)} values"
+            )
+        if self._backend == "dict":
+            for a, v in zip(actions, values):
+                self.set(state, a, float(v))
+            return
+        if not actions:
+            return
+        sid = self._state_id(state)
+        _, aids, _id_list, _ensured = self._action_slice(actions)
+        if self._backend == "shard":
+            qrow = self._store.q_row(sid)
+            krow = self._store.known_row(sid)
+        else:
+            qrow = self._q[sid]
+            krow = self._known[sid]
+        self._n_known += int(np.count_nonzero(~krow[np.unique(aids)]))
+        krow[aids] = True
+        qrow[aids] = values
+
     def items(self) -> List[Tuple[State, Action, float]]:
         """All (state, action, value) triples, deterministically ordered."""
         if self._backend == "dict":
             triples = ((s, a, v) for (s, a), v in self._values.items())
+        elif self._backend == "shard":
+            n_actions = len(self._actions)
+            triples = (
+                (
+                    self._states[sid],
+                    self._actions[aid],
+                    float(self._store.q_row(sid)[aid]),
+                )
+                for sid in range(len(self._states))
+                for aid in np.flatnonzero(
+                    self._store.known_row(sid)[:n_actions]
+                )
+            )
         else:
             sids, aids = np.nonzero(
                 self._known[: len(self._states), : len(self._actions)]
@@ -395,9 +590,74 @@ class QTable:
             table.set(_decode_key(s), _decode_key(a), float(v))
         return table
 
+    def save_shards(self, directory: Union[str, Path]) -> Path:
+        """Persist a shard-backed table shard-by-shard (+ manifest).
+
+        Writes one ``.npz`` per used shard and a canonical-JSON
+        ``manifest.json`` carrying the shard layout plus this table's
+        interning maps in id order, so :meth:`load_shards` restores the
+        exact intern order (unlike :meth:`from_json`, which re-interns
+        in sorted-entry order).  Returns the manifest path.
+        """
+        if self._backend != "shard":
+            raise ValidationError(
+                f"save_shards requires backend='shard', "
+                f"got {self._backend!r}"
+            )
+        return self._store.save(
+            directory,
+            rows_used=len(self._states),
+            cols_used=len(self._actions),
+            extra={
+                "init_scale": self._init_scale,
+                "states": [_encode_key(s) for s in self._states],
+                "actions": [_encode_key(a) for a in self._actions],
+            },
+        )
+
+    @classmethod
+    def load_shards(
+        cls,
+        directory: Union[str, Path],
+        seed: int = 0,
+        shard_dir: Optional[Union[str, Path]] = None,
+    ) -> "QTable":
+        """Restore a table saved by :meth:`save_shards`.
+
+        ``seed`` re-derives a fresh init stream (same convention as
+        :meth:`from_json`); ``shard_dir`` re-memmaps the restored
+        values there instead of loading them into RAM.
+        """
+        store, manifest = ShardStore.load(directory, shard_dir)
+        table = cls(
+            init_scale=float(manifest.get("init_scale", 1e-3)),
+            seed=seed,
+            backend="shard",
+            shard_rows=store.shard_rows,
+        )
+        table._store = store
+        table._states = [_decode_key(s) for s in manifest["states"]]
+        table._state_ids = {s: i for i, s in enumerate(table._states)}
+        table._actions = [_decode_key(a) for a in manifest["actions"]]
+        table._action_ids = {a: i for i, a in enumerate(table._actions)}
+        table._n_known = int(
+            sum(
+                int(store.known_row(sid)[: len(table._actions)].sum())
+                for sid in range(len(table._states))
+            )
+        )
+        return table
+
     def copy(self) -> "QTable":
         """Independent copy (shares no state, fresh init stream)."""
-        out = QTable(init_scale=self._init_scale, backend=self._backend)
+        if self._backend == "shard":
+            out = QTable(
+                init_scale=self._init_scale,
+                backend="shard",
+                shard_rows=self._store.shard_rows,
+            )
+        else:
+            out = QTable(init_scale=self._init_scale, backend=self._backend)
         if self._backend == "dict":
             out._values = dict(self._values)
         else:
@@ -405,7 +665,10 @@ class QTable:
             out._states = list(self._states)
             out._action_ids = dict(self._action_ids)
             out._actions = list(self._actions)
-            out._q = self._q.copy()
-            out._known = self._known.copy()
+            if self._backend == "shard":
+                out._store = self._store.copy()
+            else:
+                out._q = self._q.copy()
+                out._known = self._known.copy()
             out._n_known = self._n_known
         return out

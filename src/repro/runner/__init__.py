@@ -12,6 +12,7 @@ from repro.runner.parallel import (
     Task,
     TaskResult,
     canonical_key,
+    pack_payloads,
     resolve_workers,
     task_seed,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "Task",
     "TaskResult",
     "canonical_key",
+    "pack_payloads",
     "resolve_workers",
     "task_seed",
 ]

@@ -54,7 +54,11 @@ from repro.dag.graph import Workflow
 from repro.sim.estimates import NominalEstimateCache
 from repro.sim.events import Event, EventQueue, EventType
 from repro.sim.failures import FailureModel, NoFailures
-from repro.sim.fluctuation import FluctuationModel, NoFluctuation
+from repro.sim.fluctuation import (
+    BurstThrottleFluctuation,
+    FluctuationModel,
+    NoFluctuation,
+)
 from repro.sim.metrics import ActivationRecord, SimulationResult
 from repro.sim.migration import MigrationModel, MigrationWindow, NoMigrations
 from repro.sim.network import NetworkModel, SharedStorageNetwork
@@ -64,6 +68,7 @@ from repro.util.rng import RngService
 from repro.util.validate import ValidationError, check_positive
 
 __all__ = [
+    "BatchEpisodeState",
     "EpisodeKernel",
     "EpisodeState",
     "PendingExecution",
@@ -76,10 +81,14 @@ _TERMINAL_STATES = ("successfully finished", "finished with failure")
 
 #: Cap on the content-addressed (ready, idle) -> pairs-tuple interner.
 #: A learning run on a mid-size workflow cycles through a few thousand
-#: distinct configurations; sizing the interner above that keeps the
-#: FIFO from thrashing (each entry is one small tuple of int pairs, so
-#: worst-case memory stays in the low megabytes).
-_PAIRS_INTERN_LIMIT = 4096
+#: distinct configurations, and the batched engine shares one interner
+#: across every lockstep lane of a group — B exploring lanes multiply
+#: the live set, and FIFO eviction churns tuple identities, which in
+#: turn misses the Q-table's id()-keyed action-slice memo.  Sizing the
+#: interner well above the multi-lane working set keeps both caches
+#: hot (each entry is one small tuple of int pairs, so worst-case
+#: memory stays in the tens of megabytes).
+_PAIRS_INTERN_LIMIT = 65536
 
 
 class SimulationError(RuntimeError):
@@ -180,6 +189,12 @@ class EpisodeState:
             Tuple[Tuple[int, ...], Tuple[int, ...]],
             Tuple[Tuple[int, int], ...],
         ] = {}
+        # busy-bitmask -> capacity-idle tuple memo (bit i set = vms[i]
+        # full).  The batched engine's fused loop maintains the mask
+        # incrementally and swaps idle tuples by lookup instead of
+        # rebuilding them; at most 2^len(vms) entries, content-keyed,
+        # so it also survives scrub().
+        self._idle_by_mask: Dict[int, Tuple[Vm, ...]] = {}
         # RNG streams, re-derived from the per-episode seed in reset()
         self.rng_fluct: np.random.Generator
         self.rng_fail: np.random.Generator
@@ -265,6 +280,35 @@ class EpisodeState:
             self.queue.schedule(
                 revocation.time, EventType.REVOCATION, revocation.vm_id
             )
+
+    def reset_fast(self) -> None:
+        """Stream-free episode reset for draw-free kernels.
+
+        Bit-identical to :meth:`reset` *except* the four per-episode
+        RNG streams are not re-derived, so it is only valid when
+        ``kernel.draw_free`` is true — no model ever reads them (the
+        attributes keep the previous episode's generators, which a
+        draw-free episode never touches).  Used by the batched lockstep
+        engine (:mod:`repro.core.batch`), where stream construction
+        otherwise dominates the per-episode reset cost.
+        """
+        kernel = self._kernel
+        if not kernel.draw_free:
+            raise ValidationError(
+                "reset_fast requires a draw-free kernel "
+                "(see EpisodeKernel.draw_free); use reset(seed)"
+            )
+        self.scrub()
+        ac_by_id = kernel._ac_by_id
+        for i in kernel.entry_ids:
+            ac_by_id[i].state = ActivationState.READY
+            self._ready_ids.append(i)  # entry_ids are pre-sorted
+            self.ready_time[i] = 0.0
+        for vm in kernel.vms:
+            boot = vm.type.boot_time
+            vm.available_at = boot
+            if boot > 0:
+                self.queue.schedule(boot, EventType.VM_READY, vm.id)
 
     # -- the paper's workflow-state predicate, O(1) ----------------------
 
@@ -609,6 +653,19 @@ class EpisodeKernel:
         )
         self.max_attempts = int(max_attempts)
         self.horizon = check_positive("horizon", horizon)
+        # A "draw-free" environment never reads any of the four
+        # per-episode RNG streams: no failures/migrations/revocations,
+        # and a fluctuation model known to be deterministic.  Exact type
+        # checks, not isinstance — a subclass may override behaviour and
+        # start drawing.  Consumers (the batched lockstep engine) use
+        # this to take the stream-free ``EpisodeState.reset_fast`` path.
+        self.draw_free: bool = (
+            type(self.failures) is NoFailures
+            and type(self.migrations) is NoMigrations
+            and type(self.revocations) is NoRevocations
+            and type(self.fluctuation)
+            in (NoFluctuation, BurstThrottleFluctuation)
+        )
 
         # frozen topology indexes (id -> sorted neighbour tuples)
         wf = self.workflow
@@ -986,6 +1043,78 @@ class EpisodeKernel:
         state.queue.schedule(
             state.now + window.downtime, EventType.MIGRATION_END, vm.id
         )
+
+
+class BatchEpisodeState:
+    """Lockstep batch view: B episode lanes over one kernel.
+
+    The kernel still owns exactly **one** :class:`EpisodeState` (the
+    single-tenancy invariant) — lanes take turns advancing it, one
+    whole episode per turn, round-robin.  This view holds the per-lane
+    ``(B,)``-shaped summaries the lockstep engine
+    (:mod:`repro.core.batch`) advances and reads: episode counts,
+    decision steps, makespans, terminal simulated time, terminal
+    ready/idle set sizes, and the size of the shared interned
+    action-pair pool.  All cross-lane reads are vectorized numpy ops —
+    per-lane Python loops over these batch axes inside ``repro.sim`` /
+    ``repro.rl`` are flagged by reprolint rule RL014.
+    """
+
+    def __init__(self, kernel: "EpisodeKernel", batch: int) -> None:
+        if batch < 1:
+            raise ValidationError("batch must be >= 1")
+        self.kernel = kernel
+        self.batch = int(batch)
+        #: episodes completed per lane
+        self.episodes = np.zeros(batch, dtype=np.int64)
+        #: decision steps of each lane's last episode
+        self.steps = np.zeros(batch, dtype=np.int64)
+        #: makespan of each lane's last episode
+        self.makespan = np.zeros(batch, dtype=np.float64)
+        #: terminal simulated time of each lane's last episode
+        self.now = np.zeros(batch, dtype=np.float64)
+        #: terminal ready-set size (>0 only for failed episodes)
+        self.ready = np.zeros(batch, dtype=np.int64)
+        #: idle-set size at the last idle rebuild of each lane's episode
+        self.idle = np.zeros(batch, dtype=np.int64)
+        #: interned (ready, idle) -> action-pair tuples in the shared
+        #: kernel pool after each lane's turn (the pool is shared, so
+        #: this is non-decreasing across one lockstep round)
+        self.pairs = np.zeros(batch, dtype=np.int64)
+
+    def snapshot(self, lane: int, makespan: float, steps: int) -> None:
+        """Record lane ``lane``'s just-finished episode off the kernel.
+
+        Called by the engine right after the lane's episode terminates,
+        while the kernel's episode state still holds that lane's
+        terminal configuration.
+        """
+        state = self.kernel.state
+        self.episodes[lane] += 1
+        self.steps[lane] = int(steps)
+        self.makespan[lane] = float(makespan)
+        self.now[lane] = state.now
+        self.ready[lane] = len(state._ready_ids)
+        self.idle[lane] = len(state._idle_cache)
+        self.pairs[lane] = len(state._pairs_interned)
+
+    def remaining(self, targets: np.ndarray) -> np.ndarray:
+        """(B,) episodes still owed per lane, clipped at zero."""
+        return np.maximum(targets - self.episodes, 0)
+
+    def active(self, targets: np.ndarray) -> np.ndarray:
+        """(B,) mask of lanes with episodes left to run."""
+        result: np.ndarray = self.episodes < targets
+        return result
+
+    def summary(self) -> Dict[str, float]:
+        """Vectorized aggregates for progress logs."""
+        return {
+            "episodes": float(self.episodes.sum()),
+            "mean_makespan": float(self.makespan.mean()),
+            "max_now": float(self.now.max()),
+            "pairs_interned": float(self.pairs.max()),
+        }
 
 
 # -- kernel fingerprinting (worker-side kernel reuse) ---------------------

@@ -1,0 +1,34 @@
+"""RL014 fixture: per-lane Python loops over batch axes (flagged)."""
+
+import numpy as np
+
+
+def per_lane_makespans(view):
+    out = []
+    for lane in view.lanes:  # flagged: iterates the batch axis
+        out.append(lane.makespan)
+    return out
+
+
+def per_lane_indexed(view):
+    totals = np.zeros(view.batch)
+    for i, lane in enumerate(view.lanes):  # flagged: enumerate over lanes
+        totals[i] = lane.steps
+    return totals
+
+
+def per_lane_range(view):
+    acc = 0.0
+    for b in range(view.batch):  # flagged: range over the batch width
+        acc += view.makespan[b]
+    return acc
+
+
+def per_lane_len_range(view):
+    lanes = view.lanes
+    return [view.steps[i] for i in range(len(lanes))]  # flagged: via alias
+
+
+def per_lane_alias(view):
+    lanes = view.lanes
+    return sum(lane.now for lane in lanes)  # flagged: aliased lanes

@@ -1,0 +1,27 @@
+"""RL014 fixture twin: vectorized batch reads and unrelated loops (clean)."""
+
+import numpy as np
+
+
+def batch_summary(view):
+    # the whole point: one vectorized expression over the (B,) arrays
+    return {
+        "mean_makespan": float(view.makespan.mean()),
+        "total_steps": int(view.steps.sum()),
+        "stalled": int(np.count_nonzero(view.ready)),
+    }
+
+
+def per_vm_scan(vms):
+    # looping other (small, non-batch) axes is fine
+    return [vm for vm in vms if not vm.migrating]
+
+
+def plain_range(n):
+    return [i * i for i in range(n)]
+
+
+def local_lanes_list(items):
+    # a local merely *named* lanes is not a batch-axis read
+    lanes = [item for item in items if item.active]
+    return [lane.name for lane in lanes]

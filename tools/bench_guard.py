@@ -53,6 +53,10 @@ GUARDED: Dict[str, List[str]] = {
     # Warm (cache replay) vs cold (full parse) analyzer run, same
     # process/host (see benchmarks/test_reprolint_throughput.py).
     "results/BENCH_reprolint_throughput.json": ["warm_vs_cold_ratio"],
+    # Lockstep-lane sweep vs the per-cell path, both arms in the same
+    # process at the frozen paper-scale protocol (see
+    # benchmarks/test_batched_engine.py).
+    "results/BENCH_batched_engine.json": ["batched_vs_serial_speedup"],
 }
 
 

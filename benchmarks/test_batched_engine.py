@@ -26,12 +26,9 @@ Results go to ``results/batched_engine.md`` (prose) and
 ``tools/bench_guard.py``).
 """
 
-import gc
 import json
 import os
-import subprocess
 import time
-from pathlib import Path
 
 import pytest
 
@@ -41,9 +38,14 @@ from repro.runner import ParallelRunner
 from repro.runner.parallel import clear_kernel_cache
 from repro.workflows.montage import montage
 
-from conftest import save_artifact
+from conftest import (
+    best_of,
+    gc_paused,
+    git_head,
+    learning_fingerprint,
+    save_artifact,
+)
 
-_REPO_ROOT = Path(__file__).resolve().parents[1]
 _GRID = (0.1, 0.5, 1.0)  # alphas x epsilons, gamma fixed at the paper's 1.0
 # The paper protocol: 100 learning episodes per sweep cell (the
 # run_paper_sweep default).  Deliberately NOT scaled by REPRO_EPISODES:
@@ -52,15 +54,6 @@ _GRID = (0.1, 0.5, 1.0)  # alphas x epsilons, gamma fixed at the paper's 1.0
 # only comparable to the frozen baseline when both run the same episode
 # count.  The fast variant economizes via reps, not episodes.
 _EPISODES = 100
-
-
-def _git_head():
-    probe = subprocess.run(
-        ["git", "-C", str(_REPO_ROOT), "rev-parse", "--short", "HEAD"],
-        capture_output=True,
-        text=True,
-    )
-    return probe.stdout.strip() if probe.returncode == 0 else "unknown"
 
 
 def _run_arm(wf, episodes, batch):
@@ -83,33 +76,19 @@ def _run_arm(wf, episodes, batch):
         batch=batch,
     )
     runner = ParallelRunner(workers=1, run_id="bench-batched", seed=1)
-    gc.collect()
-    gc.disable()
-    try:
+    with gc_paused():
         started = time.perf_counter()
         results = runner.run(tasks)
         elapsed = time.perf_counter() - started
-    finally:
-        gc.enable()
     return flatten_sweep_values([r.value for r in results]), elapsed
 
 
 def _cell_fingerprints(records):
     return [
         (r.params, r.learning_time, r.simulated_makespan,
-         r.result.qtable_json, r.result.plan.to_json(),
-         [e.to_dict() for e in r.result.episodes])
+         *learning_fingerprint(r.result))
         for r in records
     ]
-
-
-def _best_of(reps, wf, episodes, batch):
-    best = None
-    for _ in range(reps):
-        records, elapsed = _run_arm(wf, episodes, batch)
-        if best is None or elapsed < best[1]:
-            best = (records, elapsed)
-    return best
 
 
 def _bench_json(episodes, reps, n_cells, serial_s, batched_s):
@@ -122,7 +101,7 @@ def _bench_json(episodes, reps, n_cells, serial_s, batched_s):
         "episodes_per_cell": episodes,
         "reps_best_of": reps,
         "host_cores": os.cpu_count() or 1,
-        "commit": _git_head(),
+        "commit": git_head(),
         "serial_seconds": serial_s,
         "serial_eps_per_sec": total_episodes / serial_s,
         "batched_seconds": batched_s,
@@ -138,7 +117,7 @@ def _render_note(episodes, reps, n_cells, serial_s, batched_s):
         "# Batched-engine throughput (lockstep lanes A/B)",
         "",
         f"- host cores: {os.cpu_count() or 1}",
-        f"- commit: {_git_head()}",
+        f"- commit: {git_head()}",
         "- workflow: Montage-50, 16-vCPU Table-I fleet, burst-throttle",
         f"- sweep column: {n_cells} (alpha, epsilon) cells x "
         f"{episodes} episodes (best of {reps})",
@@ -164,9 +143,13 @@ def _run_and_record(results_dir, episodes, reps):
     wf = montage(50, seed=1)
     # short warmup outside the timed reps (primes numpy/caches)
     _run_arm(wf, 10, batch=1)
-    serial_rec, serial_s = _best_of(reps, wf, episodes, batch=1)
+    serial_rec, serial_s = best_of(
+        reps, lambda: _run_arm(wf, episodes, batch=1)
+    )
     n_cells = len(serial_rec)
-    batched_rec, batched_s = _best_of(reps, wf, episodes, batch=n_cells)
+    batched_rec, batched_s = best_of(
+        reps, lambda: _run_arm(wf, episodes, batch=n_cells)
+    )
     assert _cell_fingerprints(serial_rec) == _cell_fingerprints(
         batched_rec
     ), "batched engine diverged from the serial path — numbers void"

@@ -58,7 +58,7 @@ from repro.util.rng import RngService
 from repro.util.stats import RunningStats
 from repro.workflows.montage import montage
 
-from conftest import save_artifact
+from conftest import best_of, gc_paused, git_head, save_artifact
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
 _BASELINE_COMMIT = "01b95de"
@@ -131,22 +131,12 @@ def _run_arm(wf, fleet, seeds, scheduler_cls, backend):
         wf, fleet, fluctuation=BurstThrottleFluctuation(**_FLUCTUATION)
     )
     makespans = []
-    started = time.perf_counter()
-    for seed in seeds:
-        makespans.append(kernel.run_episode(scheduler, seed).makespan)
-    elapsed = time.perf_counter() - started
+    with gc_paused():
+        started = time.perf_counter()
+        for seed in seeds:
+            makespans.append(kernel.run_episode(scheduler, seed).makespan)
+        elapsed = time.perf_counter() - started
     return makespans, elapsed, scheduler.qtable.to_json()
-
-
-def _best_of(reps, wf, fleet, seeds, scheduler_cls, backend):
-    best = None
-    for _ in range(reps):
-        makespans, elapsed, qjson = _run_arm(
-            wf, fleet, seeds, scheduler_cls, backend
-        )
-        if best is None or elapsed < best[1]:
-            best = (makespans, elapsed, qjson)
-    return best
 
 
 #: Runs inside the baseline worktree's interpreter (its own src/ on
@@ -241,15 +231,6 @@ def _pre_refactor_arm(episodes, reps):
         shutil.rmtree(worktree, ignore_errors=True)
 
 
-def _git_head():
-    probe = subprocess.run(
-        ["git", "-C", str(_REPO_ROOT), "rev-parse", "--short", "HEAD"],
-        capture_output=True,
-        text=True,
-    )
-    return probe.stdout.strip() if probe.returncode == 0 else "unknown"
-
-
 def _bench_json(episodes, reps, fast_s, legacy_s, pre):
     payload = {
         "benchmark": "decision_loop",
@@ -258,7 +239,7 @@ def _bench_json(episodes, reps, fast_s, legacy_s, pre):
         "episodes": episodes,
         "reps_best_of": reps,
         "host_cores": os.cpu_count() or 1,
-        "commit": _git_head(),
+        "commit": git_head(),
         "baseline_commit": _BASELINE_COMMIT,
         "fast_seconds": fast_s,
         "fast_eps_per_sec": episodes / fast_s,
@@ -282,7 +263,7 @@ def _render_note(episodes, reps, fast_s, legacy_s, pre):
         "# Decision-loop throughput (fast path A/B)",
         "",
         f"- host cores: {os.cpu_count() or 1}",
-        f"- commit: {_git_head()} (baseline {_BASELINE_COMMIT})",
+        f"- commit: {git_head()} (baseline {_BASELINE_COMMIT})",
         "- workflow: Montage-50, 16-vCPU Table-I fleet, burst-throttle",
         f"- episodes per arm: {episodes} (best of {reps})",
         f"- fast path (array Q-table, cached pairs): {fast_s:.3f} s "
@@ -329,11 +310,11 @@ def _run_and_record(results_dir, episodes, reps, with_baseline):
     seeds = _episode_seeds(1, episodes)
     # warmup outside the timed reps
     _run_arm(wf, fleet, seeds, ReassignScheduler, "array")
-    fast_mk, fast_s, fast_q = _best_of(
-        reps, wf, fleet, seeds, ReassignScheduler, "array"
+    fast_mk, fast_s, fast_q = best_of(
+        reps, lambda: _run_arm(wf, fleet, seeds, ReassignScheduler, "array")
     )
-    legacy_mk, legacy_s, legacy_q = _best_of(
-        reps, wf, fleet, seeds, _LegacyLoopScheduler, "dict"
+    legacy_mk, legacy_s, legacy_q = best_of(
+        reps, lambda: _run_arm(wf, fleet, seeds, _LegacyLoopScheduler, "dict")
     )
     assert fast_mk == legacy_mk, (
         "fast and legacy decision loops diverged — throughput numbers void"

@@ -1,0 +1,214 @@
+"""Distributed-learning benchmark — actor/learner engine vs serial.
+
+Times ReASSIgN learning on Montage-50 (16-vCPU Table-I fleet, paper
+parameters α=0.5, γ=1.0, ε=0.1, 100 episodes) two ways:
+
+- **serial**: ``ReassignLearner.learn()`` — the reference per-episode
+  decision loop, one episode at a time on the true Q-table;
+- **distributed**: :func:`repro.core.distributed.learn_distributed`
+  with ``n_actors=4, mode="auto"`` — speculative rollout actors against
+  versioned Q-table snapshots feeding one ordered replay learner.
+
+Equivalence gates every number: both arms must agree bit for bit on
+the deterministic :func:`~conftest.learning_fingerprint` (Q-table JSON,
+plan, per-episode records, simulated learning time) before any
+throughput counts — the distributed engine's whole contract is that
+actor count never changes a single result byte.
+
+Where the speedup comes from depends on the host.  The ordered replay
+learner consumes traces through the fused batched-engine primitives
+(PR 8), so even on a single core — where ``mode="auto"`` resolves to
+the inline engine and speculation buys nothing — the distributed path
+clears >=2.5x over the serial loop.  On multi-core hosts the actor
+pool additionally overlaps rollout simulation with replay; the
+recorded ``speculative_hit_rate``/``host_cores`` tell the two effects
+apart when reading a frozen artifact.
+
+Results go to ``results/distributed_learning.md`` (prose) and
+``results/BENCH_distributed_learning.json`` (machine-readable; the
+``distributed_vs_serial_speedup`` ratio is frozen and guarded by
+``tools/bench_guard.py``).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.distributed import host_cores, learn_distributed
+from repro.core.reassign import ReassignLearner, ReassignParams
+from repro.experiments.environments import fleet_for
+from repro.workflows.montage import montage
+
+from conftest import (
+    gc_paused,
+    git_head,
+    learning_fingerprint,
+    save_artifact,
+)
+
+#: The paper protocol: Montage-50, 100 learning episodes.  Deliberately
+#: NOT scaled by REPRO_EPISODES: the guarded speedup amortizes per-wave
+#: overheads over the episode count, so fresh CI values are only
+#: comparable to the frozen baseline at the frozen episode count.  The
+#: fast variant economizes via reps, not episodes.
+_EPISODES = 100
+_ACTORS = 4
+
+
+def _params():
+    return ReassignParams(
+        alpha=0.5, gamma=1.0, epsilon=0.1, episodes=_EPISODES
+    )
+
+
+def _serial_arm(wf, fleet):
+    """One serial reference run; returns (result, wall seconds)."""
+    learner = ReassignLearner(wf, fleet, _params(), seed=1)
+    with gc_paused():
+        started = time.perf_counter()
+        result = learner.learn()
+        elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def _distributed_arm(wf, fleet):
+    """One distributed run; returns (result, wall seconds, stats)."""
+    stats = {}
+    with gc_paused():
+        started = time.perf_counter()
+        result = learn_distributed(
+            wf, fleet, _params(), seed=1, n_actors=_ACTORS, mode="auto",
+            stats_out=stats,
+        )
+        elapsed = time.perf_counter() - started
+    return result, elapsed, stats
+
+
+def _bench_json(reps, serial_s, dist_s, stats):
+    payload = {
+        "benchmark": "distributed_learning",
+        "workflow": "montage-50",
+        "vcpus": 16,
+        "episodes": _EPISODES,
+        "n_actors": _ACTORS,
+        "reps_best_of": reps,
+        "host_cores": host_cores(),
+        "commit": git_head(),
+        "serial_seconds": serial_s,
+        "serial_eps_per_sec": _EPISODES / serial_s,
+        "distributed_seconds": dist_s,
+        "distributed_eps_per_sec": _EPISODES / dist_s,
+        "distributed_vs_serial_speedup": serial_s / dist_s,
+        "mode": stats["mode"],
+        "waves": stats["waves"],
+        "exact_commits": stats["exact_commits"],
+        "speculative_hits": stats["speculative_hits"],
+        "speculative_misses": stats["speculative_misses"],
+        "resims": stats["resims"],
+        "speculative_hit_rate": stats["speculative_hit_rate"],
+        "final_width": stats["final_width"],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def _fmt_rate(rate):
+    """Hit rate for prose; None means the engine never speculated."""
+    return "n/a (no speculation)" if rate is None else f"{rate:.2f}"
+
+
+def _render_note(reps, serial_s, dist_s, stats):
+    return "\n".join([
+        "# Distributed learning throughput (actor/learner A/B)",
+        "",
+        f"- host cores: {host_cores()} (os.cpu_count {os.cpu_count()})",
+        f"- commit: {git_head()}",
+        "- workflow: Montage-50, 16-vCPU Table-I fleet, a=0.5 g=1.0 "
+        "e=0.1",
+        f"- episodes per arm: {_EPISODES} (best of {reps})",
+        f"- serial (ReassignLearner.learn): {serial_s:.3f} s "
+        f"({_EPISODES / serial_s:.1f} eps/s)",
+        f"- distributed (n_actors={_ACTORS}, mode={stats['mode']}): "
+        f"{dist_s:.3f} s ({_EPISODES / dist_s:.1f} eps/s)",
+        f"- distributed vs serial: {serial_s / dist_s:.2f}x",
+        f"- speculation: {stats['speculative_hits']} hits / "
+        f"{stats['speculative_misses']} misses "
+        f"(hit rate {_fmt_rate(stats['speculative_hit_rate'])}, "
+        f"{stats['exact_commits']} exact commits, "
+        f"{stats['resims']} re-simulations, "
+        f"final wave width {stats['final_width']})",
+        "",
+        "Both arms produced bit-identical learning fingerprints",
+        "(Q-table JSON, plan, per-episode records, simulated learning",
+        "time) before any throughput counted.  The speedup decomposes",
+        "into (a) the ordered replay learner consuming traces through",
+        "the fused batched-engine primitives instead of the generic",
+        "per-episode loop, and (b) on multi-core hosts, actor-side",
+        "rollout overlapping learner-side replay; the recorded",
+        "host_cores and speculation stats say which effect dominated a",
+        "given frozen artifact.",
+    ])
+
+
+def _run_and_record(results_dir, reps):
+    wf = montage(50, seed=1)
+    fleet = fleet_for(16)
+    # warmup outside the timed reps (primes numpy, kernel caches)
+    _distributed_arm(wf, fleet)
+    _serial_arm(wf, fleet)
+    # interleave the arms rep by rep: on a contended host a noise
+    # window then inflates both arms instead of landing entirely on
+    # one, so the best-of quotient stays a code measurement
+    serial_res, serial_s = _serial_arm(wf, fleet)
+    dist_res, dist_s, stats = _distributed_arm(wf, fleet)
+    for _ in range(reps - 1):
+        res, secs = _serial_arm(wf, fleet)
+        if secs < serial_s:
+            serial_res, serial_s = res, secs
+        res, secs, st = _distributed_arm(wf, fleet)
+        if secs < dist_s:
+            dist_res, dist_s, stats = res, secs, st
+    assert learning_fingerprint(dist_res) == learning_fingerprint(
+        serial_res
+    ), "distributed engine diverged from the serial path — numbers void"
+    save_artifact(
+        results_dir,
+        "distributed_learning.md",
+        _render_note(reps, serial_s, dist_s, stats),
+    )
+    save_artifact(
+        results_dir,
+        "BENCH_distributed_learning.json",
+        _bench_json(reps, serial_s, dist_s, stats),
+    )
+    return serial_s, dist_s
+
+
+@pytest.mark.fast
+def test_distributed_learning_fast(results_dir):
+    """CI A/B at the frozen protocol, single rep.
+
+    Runs the exact frozen-baseline protocol so the fresh
+    ``distributed_vs_serial_speedup`` is comparable to the frozen one;
+    the single rep keeps it CI-sized.  The strict >=2.5x assertion
+    lives in the full variant — here the distributed path must simply
+    not be slower, and the frozen-ratio regression check is
+    ``tools/bench_guard.py``'s job (fresh speedup >= 0.75 x frozen).
+    """
+    serial_s, dist_s = _run_and_record(results_dir, reps=1)
+    assert dist_s <= serial_s, (
+        f"distributed engine slower than the serial path: "
+        f"{dist_s:.3f}s vs {serial_s:.3f}s"
+    )
+
+
+def test_distributed_learning_full(results_dir):
+    """Full A/B, >=2.5x Montage-50 learning throughput enforced."""
+    serial_s, dist_s = _run_and_record(results_dir, reps=5)
+    speedup = serial_s / dist_s
+    assert speedup >= 2.5, (
+        f"expected >=2.5x over the serial learner: "
+        f"serial {serial_s:.3f}s, distributed {dist_s:.3f}s "
+        f"({speedup:.2f}x)"
+    )

@@ -42,7 +42,7 @@ from repro.service import (
     default_tenants,
 )
 
-from conftest import save_artifact
+from conftest import gc_paused, save_artifact
 
 #: Arrival burst: jobs/s of *simulated* time — high enough that the
 #: fleet is contended and multiplexing matters.
@@ -66,9 +66,11 @@ def _service_path(arrivals, seed):
     service = SchedulerService(
         arrivals, ServiceConfig(vcpus=_VCPUS, policy=_POLICY), seed=seed
     )
-    started = time.perf_counter()
-    result = service.run()
-    return result, time.perf_counter() - started
+    with gc_paused():
+        started = time.perf_counter()
+        result = service.run()
+        elapsed = time.perf_counter() - started
+    return result, elapsed
 
 
 def _serial_path(arrivals, seed):
@@ -80,21 +82,23 @@ def _serial_path(arrivals, seed):
     """
     config = ServiceConfig(vcpus=_VCPUS, policy=_POLICY)
     simulated = 0.0
-    started = time.perf_counter()
-    for job in arrivals.schedule():
-        solo = type(job)(
-            job_id=job.job_id,
-            tenant=job.tenant,
-            workflow=job.workflow,
-            size=job.size,
-            arrival_time=0.0,
-            workflow_seed=job.workflow_seed,
-        )
-        result = SchedulerService(
-            TraceArrivals([solo]), config, seed=seed
-        ).run()
-        simulated += result.end_time
-    return simulated, time.perf_counter() - started
+    with gc_paused():
+        started = time.perf_counter()
+        for job in arrivals.schedule():
+            solo = type(job)(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                workflow=job.workflow,
+                size=job.size,
+                arrival_time=0.0,
+                workflow_seed=job.workflow_seed,
+            )
+            result = SchedulerService(
+                TraceArrivals([solo]), config, seed=seed
+            ).run()
+            simulated += result.end_time
+        elapsed = time.perf_counter() - started
+    return simulated, elapsed
 
 
 def _render_note(n_jobs, result, service_wall, serial_sim, serial_wall,

@@ -9,10 +9,16 @@ execution by the SWfMS.  Public entry points:
 - :class:`~repro.core.reassign.ReassignLearner` — Algorithm 2: runs
   ``maxIter`` episodes and extracts the learned plan;
 - :func:`~repro.core.sweep.sweep_parameters` — the (α, γ, ε) grid
-  evaluation behind the paper's Tables II and III.
+  evaluation behind the paper's Tables II and III;
+- :func:`~repro.core.batch.learn_batch` — the lockstep batched engine
+  (many independent learning runs, one process);
+- :func:`~repro.core.distributed.learn_distributed` — speculative
+  actor/learner training, bit-identical to serial at any actor count.
 """
 
 from repro.core.reassign import ReassignLearner, ReassignParams, ReassignScheduler
+from repro.core.batch import BatchSpec, learn_batch
+from repro.core.distributed import learn_distributed
 from repro.core.episode import EpisodeRecord, LearningResult
 from repro.core.sweep import SweepRecord, sweep_parameters
 
@@ -20,6 +26,9 @@ __all__ = [
     "ReassignLearner",
     "ReassignParams",
     "ReassignScheduler",
+    "BatchSpec",
+    "learn_batch",
+    "learn_distributed",
     "EpisodeRecord",
     "LearningResult",
     "SweepRecord",

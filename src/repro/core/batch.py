@@ -84,6 +84,7 @@ from repro.sim.kernel import (
 )
 from repro.sim.metrics import ActivationRecord, SimulationResult
 from repro.sim.migration import MigrationModel
+from repro.sim.trace import DecisionStep
 from repro.sim.network import NetworkModel
 from repro.sim.vm import Vm
 from repro.util.rng import RngService
@@ -235,7 +236,10 @@ class _FastLane:
 
 
 def _drive_episode(
-    kernel: EpisodeKernel, lane: _FastLane, seed: int
+    kernel: EpisodeKernel,
+    lane: _FastLane,
+    seed: int,
+    trace: Optional[List[DecisionStep]] = None,
 ) -> SimulationResult:
     """One fully-inlined learning episode on the fast path.
 
@@ -246,6 +250,13 @@ def _drive_episode(
     bit-identical (see the module docstring for the contract and the
     pinning tests).  Handles every event type; only the episode *reset*
     is specialized (stream-free) when the kernel is draw-free.
+
+    When ``trace`` is a list, one
+    :class:`~repro.sim.trace.DecisionStep` per decision is appended to
+    it (the distributed learner's rollout actors pass a fresh list per
+    episode).  Tracing is purely observational: it reads values the
+    loop already computed and never draws, so traced and untraced
+    episodes are bit-identical.
     """
     state = kernel.state
     vms = kernel.vms
@@ -697,16 +708,24 @@ def _drive_episode(
                     global_index = (
                         g_exec_mean * r_mu + (1.0 - r_mu) * g_queue_mean
                     )
-                    sn = 0
-                    smean = 0.0
-                    sm2 = 0.0
-                    for x in r_index:
-                        sn += 1
-                        delta = x - smean
-                        smean += delta / sn
-                        sm2 += delta * (x - smean)
-                    std = math.sqrt(sm2 / sn) if sn >= 2 else 0.0
-                    r_i = -1.0 if vm_index > global_index + std else 1.0
+                    # §III-B penalty test, short-circuited: std >= 0, so
+                    # a VM at or below the global index can never trip
+                    # `vm_index > global_index + std` — the Welford scan
+                    # over per-VM indexes only runs when it can matter
+                    # (bit-identical: the scan is unchanged when taken)
+                    if vm_index > global_index:
+                        sn = 0
+                        smean = 0.0
+                        sm2 = 0.0
+                        for x in r_index:
+                            sn += 1
+                            delta = x - smean
+                            smean += delta / sn
+                            sm2 += delta * (x - smean)
+                        std = math.sqrt(sm2 / sn) if sn >= 2 else 0.0
+                        r_i = -1.0 if vm_index > global_index + std else 1.0
+                    else:
+                        r_i = 1.0
                     reward = reward + r_rho * (r_i - reward)
                     r_t = reward
                     reward_sum += r_t
@@ -791,6 +810,7 @@ def _drive_episode(
                             future = float(row.take(aids).max())
                     else:
                         future = 0.0
+                    explored = sel_aid is None
                     if sel_aid is None:
                         sel_aid = table._action_id(action)
                     if store is not None:
@@ -809,7 +829,23 @@ def _drive_episode(
                         known_row[sel_aid] = True
                         table._n_known += 1
                     delta = r_t + gamma_t * future - q_sa
-                    qrow[sel_aid] = q_sa + float(alpha * delta)
+                    q_new = q_sa + float(alpha * delta)
+                    qrow[sel_aid] = q_new
+                    if trace is not None:
+                        trace.append(
+                            DecisionStep(
+                                pairs=pairs,
+                                action=action,
+                                explored=explored,
+                                te=te,
+                                tf=tf,
+                                next_pairs=next_pairs,
+                                n_finished=state._n_finished,
+                                reward=r_t,
+                                q_value=q_new,
+                                table_version=table._version,
+                            )
+                        )
                     t_rl += 1
                     steps += 1
             elif etype is _VM_READY:

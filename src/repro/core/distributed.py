@@ -1,0 +1,879 @@
+"""Deterministic distributed learning: speculative actors + ordered replay.
+
+``learn_distributed`` splits ``ReassignLearner.learn()`` into N rollout
+**actors** and one **learner** without giving up the repo's
+bit-reproducibility contract: the returned
+:class:`~repro.core.episode.LearningResult` is byte-identical to the
+serial learner's for *any* actor count (pinned across
+actors ∈ {1, 2, 4, 7} in ``tests/test_distributed_learning.py``).
+
+How it works
+------------
+
+- **Wave dispatch.**  With the true learner state committed through
+  episode ``C``, one versioned checkpoint (a
+  :meth:`QTable.snapshot() <repro.rl.qtable.QTable.snapshot>` plus the
+  policy-stream and reward state) is shipped to the actor fleet, and
+  episode ``C+j`` is assigned to actor ``perm[(C+j) % N]`` — a fixed
+  actor→episode interleave drawn once from the sha256
+  :func:`~repro.util.rng.derive_seed` scheme, so the assignment is
+  itself reproducible.  Actor ``j`` therefore simulates its episode at
+  snapshot *staleness* ``j``: the wave head (``j = 0``) runs against
+  the exact committed state, the rest run **speculatively**.
+- **Traces.**  Every actor episode logs a compact per-step decision
+  trace (:class:`~repro.sim.trace.DecisionStep`: the interned action
+  space, ε-draw outcome, chosen action, observed ``(te, tf)``, reward
+  and Q-write, all stamped with the consulted table version).
+- **Ordered replay.**  The learner consumes traces in strict episode
+  order.  A trace whose base version still equals the true table's
+  version is provably exact — the engine is deterministic and the
+  actor started from byte-identical state — so its Q-writes are
+  adopted directly and cheaply.  A stale trace is *validated*: each
+  step is replayed against the true table through
+  :class:`~repro.rl.replay.ReplayKernel` (the per-step gather/scatter
+  form of the PR 8 ``update_batch`` primitives), performing every true
+  draw in order; a step whose ε-draw outcome and argmax are unchanged
+  by the staleness applies directly, and the first mismatching step
+  triggers a deterministic in-learner re-simulation of the episode —
+  the authoritative recomputation of the divergent suffix — from a
+  rollback checkpoint.
+- **Speculation throttle.**  A deterministic AIMD controller adapts
+  the wave width to the measured speculation hit-rate (halve on an
+  all-miss wave, double on an all-hit one, probe periodically), so
+  workloads whose per-episode Q-drift defeats speculation degrade
+  gracefully to exact-base dispatch instead of paying for doomed
+  rollouts.  Hits are deterministic, hence so is the throttle — and
+  the logged hit-rate statistics.
+
+Execution modes: ``"pool"`` runs the actors as long-lived
+:class:`~repro.runner.parallel.ParallelRunner` worker processes (one
+persistent pool for the whole run, per-worker kernel reuse via the
+shared kernel cache); ``"inline"`` runs the same wave/commit pipeline
+in-process with the wave head driving the true state directly — and,
+because sequential in-process speculation can never pay for itself,
+pins the wave width to 1 unless ``validate_exact`` audits are on;
+``"auto"`` picks ``pool`` only when both the actor count and the
+host's usable cores exceed one.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batch import (
+    BatchSpec,
+    _drive_episode,
+    _FastLane,
+    _final_plan,
+    _Lane,
+    fast_lane_eligible,
+)
+from repro.core.episode import EpisodeRecord, LearningResult
+from repro.core.reassign import (
+    ReassignLearner,
+    ReassignParams,
+    ReassignScheduler,
+    SimulatedLearningClock,
+)
+from repro.dag.graph import Workflow
+from repro.rl.replay import ReplayKernel
+from repro.sim.failures import FailureModel
+from repro.sim.fluctuation import FluctuationModel
+from repro.sim.kernel import EpisodeKernel
+from repro.sim.metrics import SimulationResult
+from repro.sim.migration import MigrationModel
+from repro.sim.network import NetworkModel
+from repro.sim.trace import (
+    DecisionStep,
+    EpisodeTrace,
+    ReplayContext,
+    ReplayPending,
+    TracingScheduler,
+)
+from repro.sim.vm import Vm
+from repro.util.rng import RngService, derive_seed
+from repro.util.validate import ValidationError
+
+__all__ = ["learn_distributed"]
+
+_MODES = ("auto", "inline", "pool")
+
+#: With the throttle collapsed to width 1, re-probe speculation every
+#: this many waves (costs at most one re-simulation per probe).
+_PROBE_INTERVAL = 16
+#: Stop probing for good after this many consecutive all-miss probes —
+#: the workload's per-episode Q-drift has proven speculation hopeless.
+_PROBE_GIVEUP = 2
+
+#: (t, steps, reward_sum, reward EWMA, per-VM Welford state ×5, global
+#: Welford state ×4) — everything mutable on a _FastLane besides the
+#: Q-table itself.
+_RewardState = Tuple[
+    int, int, float, float, Dict[int, int], List[int], List[float],
+    List[int], List[float], List[float], int, float, int, float,
+]
+
+#: Fused checkpoint: Q-table snapshot + policy-stream state + reward.
+_FusedBase = Tuple[Any, Dict[str, Any], _RewardState]
+
+
+def host_cores() -> int:
+    """Usable CPU cores (affinity-aware where the platform supports it)."""
+    getaff = getattr(os, "sched_getaffinity", None)
+    if getaff is not None:
+        try:
+            return max(1, len(getaff(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+# -- fused-chain checkpointing ------------------------------------------------
+
+
+def _fused_checkpoint(lane: _FastLane) -> _FusedBase:
+    """Capture everything a rollout actor needs to *become* this lane."""
+    reward_state: _RewardState = (
+        lane.t, lane.steps, lane.reward_sum, lane.reward,
+        dict(lane.pos), list(lane.exec_n), list(lane.exec_mean),
+        list(lane.queue_n), list(lane.queue_mean), list(lane.index),
+        lane.g_exec_n, lane.g_exec_mean, lane.g_queue_n, lane.g_queue_mean,
+    )
+    return (
+        lane.qtable.snapshot(),
+        lane.rng.bit_generator.state,
+        reward_state,
+    )
+
+
+def _fused_restore(lane: _FastLane, base: _FusedBase) -> None:
+    """Restore a lane from a checkpoint (reusable: copies on the way in)."""
+    snap, rng_state, rw = base
+    lane.qtable.restore(snap)
+    # restore() swaps the backing store object on the shard backend
+    lane.store = (
+        lane.qtable._store
+        if lane.params.qtable_backend == "shard"
+        else None
+    )
+    lane.rng.bit_generator.state = rng_state
+    (lane.t, lane.steps, lane.reward_sum, lane.reward) = rw[0], rw[1], rw[2], rw[3]
+    lane.pos = dict(rw[4])
+    lane.exec_n = list(rw[5])
+    lane.exec_mean = list(rw[6])
+    lane.queue_n = list(rw[7])
+    lane.queue_mean = list(rw[8])
+    lane.index = list(rw[9])
+    lane.g_exec_n = rw[10]
+    lane.g_exec_mean = rw[11]
+    lane.g_queue_n = rw[12]
+    lane.g_queue_mean = rw[13]
+
+
+def _reward_step(lane: _FastLane, vm_id: int, te: float, tf: float) -> float:
+    """The §III-B reward, op-for-op as the fused loop inlines it."""
+    pos = lane.pos.get(vm_id)
+    if pos is None:
+        pos = len(lane.pos)
+        lane.pos[vm_id] = pos
+        lane.exec_n.append(0)
+        lane.exec_mean.append(0.0)
+        lane.queue_n.append(0)
+        lane.queue_mean.append(0.0)
+        lane.index.append(0.0)
+    n = lane.exec_n[pos] + 1
+    lane.exec_n[pos] = n
+    mean = lane.exec_mean[pos]
+    mean += (te - mean) / n
+    lane.exec_mean[pos] = mean
+    qn = lane.queue_n[pos] + 1
+    lane.queue_n[pos] = qn
+    qmean = lane.queue_mean[pos]
+    qmean += (tf - qmean) / qn
+    lane.queue_mean[pos] = qmean
+    r_mu = lane.mu
+    vm_index = mean * r_mu + (1.0 - r_mu) * qmean
+    lane.index[pos] = vm_index
+    lane.g_exec_n += 1
+    lane.g_exec_mean += (te - lane.g_exec_mean) / lane.g_exec_n
+    lane.g_queue_n += 1
+    lane.g_queue_mean += (tf - lane.g_queue_mean) / lane.g_queue_n
+    global_index = lane.g_exec_mean * r_mu + (1.0 - r_mu) * lane.g_queue_mean
+    sn = 0
+    smean = 0.0
+    sm2 = 0.0
+    for x in lane.index:
+        sn += 1
+        d = x - smean
+        smean += d / sn
+        sm2 += d * (x - smean)
+    std = math.sqrt(sm2 / sn) if sn >= 2 else 0.0
+    r_i = -1.0 if vm_index > global_index + std else 1.0
+    lane.reward = lane.reward + lane.rho * (r_i - lane.reward)
+    return lane.reward
+
+
+# -- actor-side episode execution ---------------------------------------------
+
+
+def _trace_from_fused(
+    lane: _FastLane,
+    result: SimulationResult,
+    steps: List[DecisionStep],
+    episode: int,
+    env_seed: int,
+    actor: int,
+    base_version: int,
+    want_post: bool,
+) -> EpisodeTrace:
+    return EpisodeTrace(
+        episode=episode,
+        seed=env_seed,
+        actor=actor,
+        base_version=base_version,
+        steps=steps,
+        makespan=result.makespan,
+        final_state=result.final_state,
+        records=list(result.records),
+        steps_count=lane.steps,
+        reward_sum=lane.reward_sum,
+        final_reward=lane.reward,
+        post_state=_fused_checkpoint(lane) if want_post else None,
+    )
+
+
+def _run_fused_actor(
+    kernel: EpisodeKernel,
+    params: ReassignParams,
+    spec_seed: int,
+    base: _FusedBase,
+    episode: int,
+    env_seed: int,
+    actor: int,
+    want_post: bool,
+) -> EpisodeTrace:
+    """One speculative episode on a scratch lane restored from ``base``."""
+    lane = _FastLane(params, spec_seed)
+    _fused_restore(lane, base)
+    base_version = lane.qtable.version
+    steps: List[DecisionStep] = []
+    result = _drive_episode(kernel, lane, env_seed, trace=steps)
+    return _trace_from_fused(
+        lane, result, steps, episode, env_seed, actor, base_version,
+        want_post,
+    )
+
+
+def _run_generic_actor(
+    kernel: EpisodeKernel,
+    sched: ReassignScheduler,
+    episode: int,
+    env_seed: int,
+    actor: int,
+    want_post: bool,
+) -> EpisodeTrace:
+    """One speculative episode driving a private scheduler copy."""
+    base_version = sched.qtable.version
+    proxy = TracingScheduler(sched)
+    result = kernel.run_episode(proxy, env_seed)
+    return EpisodeTrace(
+        episode=episode,
+        seed=env_seed,
+        actor=actor,
+        base_version=base_version,
+        steps=proxy.steps,
+        makespan=result.makespan,
+        final_state=result.final_state,
+        records=list(result.records),
+        steps_count=sched.episode_steps,
+        reward_sum=sched._reward_sum,
+        final_reward=sched.episode_final_reward,
+        post_state=sched if want_post else None,
+    )
+
+
+def _actor_task(payload: Tuple[Any, ...], seed: int) -> EpisodeTrace:
+    """Worker-side rollout task (one episode; kernel reused per worker).
+
+    The payload ships the full spec so the worker can rebuild (or pull
+    from its shared cache, via the task's declared kernel fingerprint)
+    the episode kernel, plus the wave-base learner state.  ``seed`` is
+    the runner's derived per-task seed; the episode's env seed travels
+    in the payload because it must match the serial learner's
+    ``spawn_seed(f"episode:{i}")`` exactly.
+    """
+    (spec, fused, base, episode, env_seed, actor, want_post) = payload
+    learner = ReassignLearner(
+        spec.workflow,
+        spec.vms,
+        spec.params,
+        network=spec.network,
+        fluctuation=spec.fluctuation,
+        failures=spec.failures,
+        migrations=spec.migrations,
+        seed=spec.seed,
+        max_attempts=spec.max_attempts,
+        single_slot_learning=spec.single_slot_learning,
+    )
+    kernel = learner.kernel
+    if fused:
+        return _run_fused_actor(
+            kernel, learner.params, spec.seed, base, episode, env_seed,
+            actor, want_post,
+        )
+    # base is this process's private unpickled scheduler copy
+    return _run_generic_actor(
+        kernel, base, episode, env_seed, actor, want_post,
+    )
+
+
+# -- learner-side ordered replay ----------------------------------------------
+
+
+def _replay_fused(
+    lane: _FastLane, trace: EpisodeTrace, params: ReassignParams
+) -> Tuple[bool, int]:
+    """Validate a stale trace against the true lane, step by step.
+
+    Performs every true draw in trace order (ε-coin, tie-breaks,
+    lazy-init) and applies each validated update through the
+    replay-apply kernels.  Returns ``(ok, divergence_step)`` — on the
+    first step whose true selection differs from the traced action the
+    lane is left mid-episode and the caller rolls back and re-simulates.
+    """
+    lane.start_episode()
+    rk = ReplayKernel(lane.qtable, lane.exploit_p, params.alpha)
+    rng_random = lane.rng.random
+    rng_integers = lane.rng.integers
+    gamma = params.gamma
+    discount_power = params.discount_power
+    for i, step in enumerate(trace.steps):
+        action, sel_aid = rk.choose(step.pairs, rng_random, rng_integers)
+        if action != step.action:
+            return False, i
+        r_t = _reward_step(lane, action[1], step.te, step.tf)
+        lane.reward_sum += r_t
+        gamma_t = gamma ** lane.t if discount_power else gamma
+        future = rk.future(step.next_pairs)
+        rk.apply(action, sel_aid, r_t, gamma_t, future)
+        lane.t += 1
+        lane.steps += 1
+    return True, len(trace.steps)
+
+
+def _replay_generic(
+    sched: ReassignScheduler, trace: EpisodeTrace, workflow: Workflow
+) -> Tuple[bool, int]:
+    """Validate a stale trace by driving the true scheduler's own hooks."""
+    sched.on_simulation_start(ReplayContext((), workflow))
+    for i, step in enumerate(trace.steps):
+        ctx = ReplayContext(step.pairs, workflow, step.n_finished)
+        got = sched.select(ctx)
+        if got != step.action:
+            return False, i
+        sched.on_dispatched(
+            ReplayContext(step.next_pairs, workflow, step.n_finished),
+            ReplayPending(step.action[0], step.action[1], step.te, step.tf),
+        )
+    sched.on_simulation_end(ReplayContext((), workflow), None)
+    return True, len(trace.steps)
+
+
+def _result_from_trace(
+    kernel: EpisodeKernel, trace: EpisodeTrace
+) -> SimulationResult:
+    """Reconstruct the episode's simulation outcome from its trace."""
+    return SimulationResult(
+        workflow_name=kernel.workflow.name,
+        records=list(trace.records),
+        makespan=trace.makespan,
+        final_state=trace.final_state,
+        vms=list(kernel.vms),
+    )
+
+
+# -- the distributed learner --------------------------------------------------
+
+
+def learn_distributed(
+    workflow: Workflow,
+    vms: Sequence[Vm],
+    params: Optional[ReassignParams] = None,
+    *,
+    seed: int = 0,
+    network: Optional[NetworkModel] = None,
+    fluctuation: Optional[FluctuationModel] = None,
+    failures: Optional[FailureModel] = None,
+    migrations: Optional[MigrationModel] = None,
+    max_attempts: int = 1,
+    single_slot_learning: bool = False,
+    n_actors: int = 1,
+    mode: str = "auto",
+    timing: str = "wall",
+    validate_exact: bool = False,
+    stats_out: Optional[Dict[str, Any]] = None,
+) -> LearningResult:
+    """Distributed actor/learner training, bit-identical to serial.
+
+    Parameters mirror :class:`~repro.core.reassign.ReassignLearner`;
+    the additions:
+
+    n_actors:
+        Rollout actor count (≥ 1).  Any value yields byte-identical
+        results; it only changes how episodes are produced.
+    mode:
+        ``"pool"`` (persistent worker processes), ``"inline"``
+        (in-process actors, no IPC), or ``"auto"`` (pool only when
+        both ``n_actors`` and the usable core count exceed one).
+    timing:
+        ``"wall"`` or ``"simulated"`` — same semantics as
+        :func:`~repro.core.batch.learn_batch`; use ``"simulated"``
+        when comparing results bit-for-bit.
+    validate_exact:
+        Test knob: force even guaranteed-exact wave-head episodes
+        through the full validation replay (every step must then hit —
+        asserted by the equivalence suite; guards snapshot fidelity).
+    stats_out:
+        Optional dict populated with run statistics (speculation
+        hit-rate, re-simulation count, wave geometry, host cores).
+        Kept outside :class:`~repro.core.episode.LearningResult` so
+        the result stays byte-comparable to serial learning.
+    """
+    if n_actors < 1:
+        raise ValidationError(f"n_actors must be >= 1, got {n_actors}")
+    if mode not in _MODES:
+        allowed = ", ".join(repr(m) for m in _MODES)
+        raise ValidationError(f"mode must be one of {allowed}, got {mode!r}")
+    if timing not in ("wall", "simulated"):
+        raise ValidationError(
+            f"timing must be 'wall' or 'simulated', got {timing!r}"
+        )
+    params = params if params is not None else ReassignParams()
+    simulated = timing == "simulated"
+    spec = BatchSpec(
+        workflow=workflow,
+        vms=vms,
+        params=params,
+        seed=int(seed),
+        network=network,
+        fluctuation=fluctuation,
+        failures=failures,
+        migrations=migrations,
+        max_attempts=max_attempts,
+        single_slot_learning=single_slot_learning,
+    )
+    learner = ReassignLearner(
+        spec.workflow,
+        spec.vms,
+        params,
+        network=spec.network,
+        fluctuation=spec.fluctuation,
+        failures=spec.failures,
+        migrations=spec.migrations,
+        seed=spec.seed,
+        max_attempts=spec.max_attempts,
+        single_slot_learning=spec.single_slot_learning,
+        clock=SimulatedLearningClock() if simulated else None,
+    )
+    kernel = learner.kernel
+    fused = fast_lane_eligible(params)
+    chain_lane = _FastLane(params, spec.seed) if fused else None
+    chain_sched = learner.scheduler
+
+    if mode == "auto":
+        effective_mode = (
+            "pool" if n_actors > 1 and host_cores() > 1 else "inline"
+        )
+    else:
+        effective_mode = mode
+    pool = effective_mode == "pool"
+
+    episodes = params.episodes
+    rng = RngService(spec.seed)
+    env_seeds = [
+        rng.spawn_seed(f"episode:{i}") for i in range(episodes)
+    ]
+    # fixed actor→episode interleave off the sha256 derive_seed scheme
+    interleave = (
+        RngService(derive_seed(spec.seed, "actor-interleave"))
+        .stream("actor-interleave")
+        .permutation(n_actors)
+    )
+
+    fp = learner.kernel_fingerprint()
+    runner = None
+    if pool:
+        from repro.runner.parallel import ParallelRunner, Task
+
+        runner = ParallelRunner(
+            workers=n_actors,
+            run_id=f"distributed-learn:{spec.seed}",
+            seed=spec.seed,
+            chunk_size=1,
+            persistent=True,
+        )
+
+    records: List[EpisodeRecord] = []
+    last_result: Optional[SimulationResult] = None
+    elapsed = 0.0
+    exact_commits = 0
+    spec_hits = 0
+    spec_misses = 0
+    resims = 0
+    waves = 0
+    # Inline mode never speculates: a speculative episode costs a full
+    # actor rollout plus a replay even when it hits, and sequential
+    # in-process execution can never recoup that — the wave head driven
+    # directly on the chain is already optimal.  The pool (where actors
+    # genuinely overlap the learner) and validate_exact (an audit mode,
+    # and the inline test bed for the speculation machinery) run the
+    # adaptive width.  Width never affects results, only wall time.
+    speculate = pool or validate_exact
+    width = n_actors if speculate else 1
+    waves_since_probe = 0
+    probe_pending = False
+    probe_failures = 0
+    wall_started = time.perf_counter()
+
+    def current_version() -> int:
+        if chain_lane is not None:
+            return chain_lane.qtable.version
+        return chain_sched.qtable.version
+
+    def bump_version() -> None:
+        if chain_lane is not None:
+            chain_lane.qtable.bump_version()
+        else:
+            chain_sched.qtable.bump_version()
+
+    try:
+        committed = 0
+        if not speculate and not pool:
+            # plain inline: every episode is exact and driven directly
+            # on the learner chain, so the wave machinery (checkpoints,
+            # traces, AIMD throttle) is pure overhead — a dedicated
+            # loop keeps this serial-equivalent path at the fused
+            # engine's floor cost
+            for e in range(episodes):
+                waves += 1
+                if fused:
+                    assert chain_lane is not None
+                    result = _drive_episode(kernel, chain_lane, env_seeds[e])
+                    ep_steps = chain_lane.steps
+                    ep_reward_sum = chain_lane.reward_sum
+                    ep_final_reward = chain_lane.reward
+                else:
+                    result = kernel.run_episode(chain_sched, env_seeds[e])
+                    ep_steps = chain_sched.episode_steps
+                    ep_reward_sum = chain_sched._reward_sum
+                    ep_final_reward = chain_sched.episode_final_reward
+                exact_commits += 1
+                bump_version()
+                if simulated:
+                    elapsed += result.makespan
+                last_result = result
+                records.append(
+                    EpisodeRecord(
+                        episode=e,
+                        makespan=result.makespan,
+                        final_state=result.final_state,
+                        steps=ep_steps,
+                        mean_reward=(
+                            ep_reward_sum / ep_steps if ep_steps else 0.0
+                        ),
+                        final_reward=ep_final_reward,
+                        assignment=result.assignment,
+                    )
+                )
+            committed = episodes
+        while committed < episodes:
+            waves += 1
+            k = min(width, episodes - committed)
+            wave_episodes = list(range(committed, committed + k))
+            head_on_chain = (
+                not pool and not validate_exact
+            )  # wave head drives the true state directly when inline
+
+            # wave base: needed for every shipped episode (pool) and for
+            # inline speculative actors / validate_exact heads
+            need_base = pool or k > 1 or validate_exact
+            base: Any = None
+            if need_base:
+                if fused:
+                    assert chain_lane is not None
+                    base = _fused_checkpoint(chain_lane)
+                else:
+                    base = copy.deepcopy(chain_sched)
+
+            # -- rollout ------------------------------------------------
+            traces: List[Optional[EpisodeTrace]] = [None] * k
+            if pool:
+                assert runner is not None
+                tasks = []
+                for j, e in enumerate(wave_episodes):
+                    actor = int(interleave[e % n_actors])
+                    want_post = j == 0 and not validate_exact
+                    tasks.append(
+                        Task(
+                            key=("episode", e),
+                            fn=_actor_task,
+                            payload=(
+                                spec, fused, base, e, env_seeds[e],
+                                actor, want_post,
+                            ),
+                            seed=derive_seed(spec.seed, f"actor-episode:{e}"),
+                            kernel_fingerprint=fp,
+                        )
+                    )
+                for res in runner.run(tasks):
+                    traces[res.index] = res.value
+            else:
+                for j, e in enumerate(wave_episodes):
+                    actor = int(interleave[e % n_actors])
+                    if j == 0 and head_on_chain:
+                        continue  # driven on the true chain below
+                    if fused:
+                        traces[j] = _run_fused_actor(
+                            kernel, params, spec.seed, base, e,
+                            env_seeds[e], actor, want_post=False,
+                        )
+                    else:
+                        traces[j] = _run_generic_actor(
+                            kernel, copy.deepcopy(base), e, env_seeds[e],
+                            actor, want_post=False,
+                        )
+
+            # -- ordered consume ---------------------------------------
+            wave_hits0 = spec_hits
+            wave_misses0 = spec_misses
+            for j, e in enumerate(wave_episodes):
+                result: SimulationResult
+                if j == 0 and not pool and head_on_chain:
+                    # inline wave head: the actor *is* the learner
+                    # chain, and its trace would never be replayed — so
+                    # none is recorded
+                    if fused:
+                        assert chain_lane is not None
+                        result = _drive_episode(
+                            kernel, chain_lane, env_seeds[e]
+                        )
+                        ep_steps = chain_lane.steps
+                        ep_reward_sum = chain_lane.reward_sum
+                        ep_final_reward = chain_lane.reward
+                    else:
+                        result = kernel.run_episode(
+                            chain_sched, env_seeds[e]
+                        )
+                        ep_steps = chain_sched.episode_steps
+                        ep_reward_sum = chain_sched._reward_sum
+                        ep_final_reward = chain_sched.episode_final_reward
+                    exact_commits += 1
+                else:
+                    trace = traces[j]
+                    assert trace is not None
+                    exact = (
+                        trace.base_version == current_version()
+                        and trace.post_state is not None
+                        and not validate_exact
+                    )
+                    if exact:
+                        # provably the truth: deterministic engine from
+                        # byte-identical state — adopt the actor's
+                        # post-episode state wholesale
+                        if fused:
+                            assert chain_lane is not None
+                            _fused_restore(chain_lane, trace.post_state)
+                        else:
+                            chain_sched = trace.post_state
+                            learner.scheduler = chain_sched
+                        result = _result_from_trace(kernel, trace)
+                        ep_steps = trace.steps_count
+                        ep_reward_sum = trace.reward_sum
+                        ep_final_reward = trace.final_reward
+                        exact_commits += 1
+                    else:
+                        speculative = trace.base_version != current_version()
+                        if fused:
+                            assert chain_lane is not None
+                            ckpt = _fused_checkpoint(chain_lane)
+                            ok, _div = _replay_fused(
+                                chain_lane, trace, params
+                            )
+                        else:
+                            ckpt = copy.deepcopy(chain_sched)
+                            ok, _div = _replay_generic(
+                                chain_sched, trace, workflow
+                            )
+                        if ok:
+                            result = _result_from_trace(kernel, trace)
+                            if fused:
+                                assert chain_lane is not None
+                                ep_steps = chain_lane.steps
+                                ep_reward_sum = chain_lane.reward_sum
+                                ep_final_reward = chain_lane.reward
+                            else:
+                                ep_steps = chain_sched.episode_steps
+                                ep_reward_sum = chain_sched._reward_sum
+                                ep_final_reward = (
+                                    chain_sched.episode_final_reward
+                                )
+                            if speculative:
+                                spec_hits += 1
+                            else:
+                                exact_commits += 1
+                        else:
+                            # deterministic in-learner re-simulation of
+                            # the episode (the divergent suffix made the
+                            # whole speculative episode moot)
+                            resims += 1
+                            if speculative:
+                                spec_misses += 1
+                            if fused:
+                                assert chain_lane is not None
+                                _fused_restore(chain_lane, ckpt)
+                                result = _drive_episode(
+                                    kernel, chain_lane, env_seeds[e]
+                                )
+                                ep_steps = chain_lane.steps
+                                ep_reward_sum = chain_lane.reward_sum
+                                ep_final_reward = chain_lane.reward
+                            else:
+                                chain_sched = ckpt
+                                learner.scheduler = chain_sched
+                                result = kernel.run_episode(
+                                    chain_sched, env_seeds[e]
+                                )
+                                ep_steps = chain_sched.episode_steps
+                                ep_reward_sum = chain_sched._reward_sum
+                                ep_final_reward = (
+                                    chain_sched.episode_final_reward
+                                )
+                bump_version()
+                if simulated:
+                    elapsed += result.makespan
+                last_result = result
+                records.append(
+                    EpisodeRecord(
+                        episode=e,
+                        makespan=result.makespan,
+                        final_state=result.final_state,
+                        steps=ep_steps,
+                        mean_reward=(
+                            ep_reward_sum / ep_steps if ep_steps else 0.0
+                        ),
+                        final_reward=ep_final_reward,
+                        assignment=result.assignment,
+                    )
+                )
+            committed += k
+
+            # -- deterministic AIMD speculation throttle ---------------
+            # halve on an all-miss wave, double on an all-hit one, keep
+            # on a mixed wave; after 16 all-exact waves at width 1,
+            # probe width 2 once (costs at most one re-simulation), and
+            # give probing up for good once two consecutive probes miss
+            # — on a host where speculation never pays, the engine must
+            # converge to pure serial cost.  Hits are deterministic,
+            # hence so is the throttle; width never affects results.
+            wave_hits = spec_hits - wave_hits0
+            wave_misses = spec_misses - wave_misses0
+            n_speculative = wave_hits + wave_misses
+            waves_since_probe += 1
+            if n_speculative > 0:
+                if wave_misses == n_speculative:
+                    width = max(1, width // 2)
+                    if probe_pending:
+                        probe_failures += 1
+                else:
+                    if wave_hits == n_speculative:
+                        width = min(n_actors, width * 2)
+                    probe_failures = 0
+                probe_pending = False
+                waves_since_probe = 0
+            elif (
+                speculate
+                and width == 1
+                and n_actors > 1
+                and probe_failures < _PROBE_GIVEUP
+                and waves_since_probe >= _PROBE_INTERVAL
+            ):
+                width = 2
+                probe_pending = True
+                waves_since_probe = 0
+    finally:
+        if runner is not None:
+            runner.close()
+
+    if not simulated:
+        elapsed = time.perf_counter() - wall_started
+
+    if stats_out is not None:
+        speculative_total = spec_hits + spec_misses
+        stats_out.update(
+            n_actors=n_actors,
+            mode=effective_mode,
+            episodes=episodes,
+            waves=waves,
+            exact_commits=exact_commits,
+            speculative_hits=spec_hits,
+            speculative_misses=spec_misses,
+            resims=resims,
+            # None = never speculated (plain inline pins the width to 1);
+            # distinct from a measured 0.0 on an all-miss run
+            speculative_hit_rate=(
+                spec_hits / speculative_total if speculative_total else None
+            ),
+            hit_rate=(
+                (exact_commits + spec_hits) / episodes if episodes else None
+            ),
+            final_width=width,
+            host_cores=host_cores(),
+        )
+
+    # -- final plan & result (mirrors learn() / learn_batch) ----------------
+    if fused:
+        assert chain_lane is not None
+        lane = _Lane(
+            spec=spec,
+            params=params,
+            learner=learner,
+            fast=chain_lane,
+            rng=RngService(spec.seed),
+            records=records,
+            last_result=last_result,
+            elapsed=elapsed,
+        )
+        plan, simulated_makespan = _final_plan(lane, kernel)
+        return LearningResult(
+            plan=plan,
+            episodes=records,
+            learning_time=elapsed,
+            simulated_makespan=simulated_makespan,
+            qtable_json=chain_lane.qtable.to_json(),
+        )
+    from repro.schedulers.base import SchedulingPlan
+
+    if last_result is not None and last_result.succeeded:
+        order = sorted(
+            last_result.records,
+            key=lambda r: (r.start_time, r.activation_id),
+        )
+        plan = SchedulingPlan(
+            assignment=last_result.assignment,
+            priority=[r.activation_id for r in order],
+            name=f"ReASSIgN({params.label()})",
+        )
+        simulated_makespan = last_result.makespan
+    else:
+        plan, simulated_makespan = learner.extract_plan()
+    return LearningResult(
+        plan=plan,
+        episodes=records,
+        learning_time=elapsed,
+        simulated_makespan=simulated_makespan,
+        qtable_json=chain_sched.qtable_json(),
+    )

@@ -41,6 +41,7 @@ __all__ = [
     "sweep_parameters",
     "sweep_tasks",
     "run_sweep_batch",
+    "run_sweep_cell_distributed",
     "flatten_sweep_values",
     "PAPER_GRID",
 ]
@@ -103,6 +104,37 @@ def run_sweep_cell(payload: CellPayload, seed: int) -> SweepRecord:
     else:
         learner = factory(workflow, vms, params, seed)
     result = learner.learn()
+    learning_time = (
+        result.simulated_learning_time
+        if timing == "simulated"
+        else result.learning_time
+    )
+    return SweepRecord(
+        alpha=params.alpha,
+        gamma=params.gamma,
+        epsilon=params.epsilon,
+        learning_time=learning_time,
+        simulated_makespan=result.simulated_makespan,
+        result=result,
+    )
+
+
+def run_sweep_cell_distributed(
+    payload: Tuple[Workflow, List[Vm], ReassignParams, str, int], seed: int
+) -> SweepRecord:
+    """Execute one sweep cell through the distributed actor/learner engine.
+
+    ``payload`` is ``(workflow, vms, params, timing, actors)``.  The
+    engine is bit-identical to the serial learner at any actor count
+    (see :func:`repro.core.distributed.learn_distributed`), so records
+    match :func:`run_sweep_cell` byte for byte.
+    """
+    from repro.core.distributed import learn_distributed
+
+    workflow, vms, params, timing, actors = payload
+    result = learn_distributed(
+        workflow, vms, params, seed=seed, n_actors=actors, timing=timing
+    )
     learning_time = (
         result.simulated_learning_time
         if timing == "simulated"
@@ -190,6 +222,7 @@ def sweep_tasks(
     timing: str = "wall",
     key_prefix: Tuple[Any, ...] = (),
     batch: int = 1,
+    actors: int = 1,
 ) -> List[Task]:
     """Build the cell tasks of one fleet's (α, γ, ε) grid.
 
@@ -206,6 +239,13 @@ def sweep_tasks(
     round-trips.  Custom ``learner_factory`` cells are never packed
     (the factory contract is one learner per cell).  Flatten mixed
     results with :func:`flatten_sweep_values`.
+
+    ``actors > 1`` routes every cell through the distributed
+    actor/learner engine (:func:`run_sweep_cell_distributed`) instead —
+    bit-identical records again, but each cell spends its parallelism
+    *inside* the run; it is mutually exclusive with ``batch > 1`` (the
+    two engines partition the same work differently) and with a custom
+    ``learner_factory``.
     """
     if not alphas or not gammas or not epsilons:
         raise ValidationError("sweep needs non-empty parameter lists")
@@ -213,6 +253,17 @@ def sweep_tasks(
         raise ValidationError(f"timing must be wall/simulated, got {timing!r}")
     if batch < 1:
         raise ValidationError(f"batch must be >= 1, got {batch}")
+    if actors < 1:
+        raise ValidationError(f"actors must be >= 1, got {actors}")
+    if actors > 1 and batch > 1:
+        raise ValidationError(
+            "actors > 1 and batch > 1 are mutually exclusive: pick the "
+            "distributed actor/learner engine or the batched lockstep engine"
+        )
+    if actors > 1 and learner_factory is not None:
+        raise ValidationError(
+            "actors > 1 requires the default learner (no learner_factory)"
+        )
     tasks: List[Task] = []
     vms = list(vms)
     # Every default cell builds the same (workflow, fleet, env-model)
@@ -251,15 +302,27 @@ def sweep_tasks(
         return tasks
     for cell in payloads:
         _wf, _vms, params, _factory, _timing = cell
-        tasks.append(
-            Task(
-                key=key_prefix + (params.alpha, params.gamma, params.epsilon),
-                fn=run_sweep_cell,
-                payload=cell,
-                seed=seed,
-                kernel_fingerprint=fingerprint,
+        key = key_prefix + (params.alpha, params.gamma, params.epsilon)
+        if actors > 1:
+            tasks.append(
+                Task(
+                    key=key,
+                    fn=run_sweep_cell_distributed,
+                    payload=(workflow, vms, params, timing, actors),
+                    seed=seed,
+                    kernel_fingerprint=fingerprint,
+                )
             )
-        )
+        else:
+            tasks.append(
+                Task(
+                    key=key,
+                    fn=run_sweep_cell,
+                    payload=cell,
+                    seed=seed,
+                    kernel_fingerprint=fingerprint,
+                )
+            )
     return tasks
 
 
@@ -279,6 +342,7 @@ def sweep_parameters(
     timing: str = "wall",
     progress: Optional[ProgressFn] = None,
     batch: int = 1,
+    actors: int = 1,
 ) -> List[SweepRecord]:
     """Run a learning run per (α, γ, ε) combination on one fleet.
 
@@ -308,6 +372,7 @@ def sweep_parameters(
         learner_factory=learner_factory,
         timing=timing,
         batch=batch,
+        actors=actors,
     )
     runner = ParallelRunner(
         workers=workers,

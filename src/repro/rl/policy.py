@@ -59,6 +59,13 @@ class EpsilonGreedyPolicy(ActionPolicy):
         probability ε).
     """
 
+    #: Outcome of the most recent ε-coin: ``True`` if the last
+    #: :meth:`choose` explored, ``False`` if it exploited, ``None``
+    #: before the first call.  Read by the decision-trace recorder
+    #: (:class:`repro.sim.trace.TracingScheduler`) so rollout actors can
+    #: log the draw without perturbing the stream.
+    last_explored: Optional[bool] = None
+
     def __init__(self, epsilon: float, epsilon_is_exploration: bool = False) -> None:
         self.epsilon = check_probability("epsilon", epsilon)
         self.epsilon_is_exploration = bool(epsilon_is_exploration)
@@ -72,7 +79,9 @@ class EpsilonGreedyPolicy(ActionPolicy):
         if not actions:
             raise ValidationError("cannot choose from an empty action set")
         if rng.random() < self._exploit_probability():
+            self.last_explored = False
             return qtable.best_action(state, actions, rng)
+        self.last_explored = True
         return actions[int(rng.integers(len(actions)))]
 
     def choose_batch(

@@ -51,7 +51,7 @@ from repro.rl.qshard import DEFAULT_SHARD_ROWS, ShardStore
 from repro.util.rng import RngService
 from repro.util.validate import ValidationError
 
-__all__ = ["QTable"]
+__all__ = ["QTable", "QTableSnapshot"]
 
 State = Hashable
 Action = Hashable
@@ -75,6 +75,40 @@ _ID_MEMO_LIMIT = 4096
 #: band are order-independent IEEE float64 comparisons, so both code
 #: paths produce bit-identical results.
 _SCALAR_REDUCTION_LIMIT = 32
+
+
+class QTableSnapshot:
+    """Immutable, version-stamped capture of a :class:`QTable`'s state.
+
+    Produced by :meth:`QTable.snapshot` and consumed by
+    :meth:`QTable.restore`.  A snapshot carries *everything* that
+    determines future draws and reads: the backend payload (dense
+    arrays / shard store / sparse dict plus the interning maps) **and**
+    the lazy-init RNG stream's bit-generator state, so a restored table
+    replays the exact same first-touch initialization draws the
+    original would have.  Snapshots are backend-specific — restoring
+    onto a table with a different backend raises.
+
+    The payload copies are made at snapshot time and copied again on
+    restore, so one snapshot can seed any number of tables (the
+    distributed learner ships one per rollout wave) without aliasing.
+    """
+
+    __slots__ = ("backend", "version", "init_scale", "rng_state", "payload")
+
+    def __init__(
+        self,
+        backend: str,
+        version: int,
+        init_scale: float,
+        rng_state: Dict[str, Any],
+        payload: Tuple[Any, ...],
+    ) -> None:
+        self.backend = backend
+        self.version = version
+        self.init_scale = init_scale
+        self.rng_state = rng_state
+        self.payload = payload
 
 
 def _encode_key(key) -> list:
@@ -135,6 +169,11 @@ class QTable:
             )
         self._backend = backend
         self._init_scale = float(init_scale)
+        # monotone mutation-era counter for the distributed learner:
+        # bumped explicitly (bump_version) after each committed episode
+        # and restored alongside content by restore(), so "snapshot
+        # version == table version" certifies byte-identical content
+        self._version = 0
         self._rng: np.random.Generator = RngService(seed).stream("qtable-init")
         if backend == "dict":
             self._values: Dict[Tuple[State, Action], float] = {}
@@ -671,4 +710,113 @@ class QTable:
                 out._q = self._q.copy()
                 out._known = self._known.copy()
             out._n_known = self._n_known
+        out._version = self._version
         return out
+
+    # -- versioned snapshots (distributed learning) --------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation-era counter (see :meth:`bump_version`)."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Advance the version counter; returns the new version.
+
+        The table does not bump itself on writes — per-step increments
+        would make the counter meaningless across the thousands of
+        updates inside one episode.  The owner (the distributed
+        learner) bumps once per committed episode instead, which is the
+        granularity at which snapshots are taken and compared.
+        """
+        self._version += 1
+        return self._version
+
+    def snapshot(self) -> QTableSnapshot:
+        """Capture the complete table state as a :class:`QTableSnapshot`.
+
+        Includes the interning maps, the dense/shard/dict storage, the
+        lazy-init mask and — crucially — the ``qtable-init`` stream's
+        bit-generator state, so a restored table draws the exact same
+        first-touch initialization values in the exact same order as
+        the original.  (``copy()`` deliberately does *not* carry the
+        stream: it hands out an independent table.  Snapshots exist to
+        clone the table's future, which is what speculative rollout
+        actors need.)
+        """
+        payload: Tuple[Any, ...]
+        if self._backend == "dict":
+            payload = (dict(self._values),)
+        elif self._backend == "shard":
+            payload = (
+                self._store.copy(),
+                dict(self._state_ids),
+                list(self._states),
+                dict(self._action_ids),
+                list(self._actions),
+                self._n_known,
+            )
+        else:
+            payload = (
+                self._q.copy(),
+                self._known.copy(),
+                dict(self._state_ids),
+                list(self._states),
+                dict(self._action_ids),
+                list(self._actions),
+                self._n_known,
+            )
+        return QTableSnapshot(
+            backend=self._backend,
+            version=self._version,
+            init_scale=self._init_scale,
+            rng_state=self._rng.bit_generator.state,
+            payload=payload,
+        )
+
+    def restore(self, snap: QTableSnapshot) -> None:
+        """Restore state captured by :meth:`snapshot` (same backend only).
+
+        Restores content, interning maps, init-stream state *and* the
+        stamped version, so rolling back to a snapshot re-enters that
+        mutation era exactly.  The id-keyed action-slice memo is
+        discarded: its ensured-state sets describe the pre-restore
+        table and object ids may alias, so keeping it would be unsound.
+        """
+        if snap.backend != self._backend:
+            raise ValidationError(
+                f"cannot restore a {snap.backend!r} snapshot into a "
+                f"{self._backend!r} table"
+            )
+        self._init_scale = snap.init_scale
+        if self._backend == "dict":
+            self._values = dict(snap.payload[0])
+        else:
+            if self._backend == "shard":
+                store, sids, states, aids, actions, n_known = snap.payload
+                self._store = store.copy()
+            else:
+                q, known, sids, states, aids, actions, n_known = snap.payload
+                self._q = q.copy()
+                self._known = known.copy()
+            self._state_ids = dict(sids)
+            self._states = list(states)
+            self._action_ids = dict(aids)
+            self._actions = list(actions)
+            self._n_known = n_known
+            self._id_memo = {}
+        self._rng.bit_generator.state = snap.rng_state
+        self._version = snap.version
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the id-keyed memo: object ids do not survive a pickle."""
+        state = self.__dict__.copy()
+        state.pop("_id_memo", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        if self._backend != "dict":
+            self._id_memo = {}

@@ -1,0 +1,184 @@
+"""Replay-apply kernels: re-run traced decisions against the true Q-table.
+
+The distributed learner (`repro.core.distributed`) consumes rollout
+actors' decision traces in strict episode order and must advance the
+*true* Q-table exactly as the fused serial loop
+(``repro.core.batch._drive_episode``) would have.  :class:`ReplayKernel`
+packages that loop's three RL table operations — ε-greedy selection,
+next-state max, and the Eq.-3 write — as standalone kernels that mirror
+the fused loop **op for op**: the same exploit coin, the same
+action-slice identity memo, the same full-row ``_ensure_known``
+shortcut, the same scalar-vs-numpy reduction split with the same
+``1e-15`` tie band, the same first-touch lazy-init draw, and the same
+``float()`` coercion points.  They are the per-step form of the
+gather/scatter arithmetic behind ``QLearningAgent.update_batch``
+(PR 8): one gather of ``Q(s, a)`` and the next-state slice, one fused
+``r + γ·max − Q`` delta, one scatter of the new value.
+
+A validated replay step is therefore bit-identical to live execution;
+any divergence between a traced action and the kernel's choice proves
+the actor's snapshot was stale at that step, which is the trigger for
+the learner's in-place episode re-simulation.
+
+**Lifetime contract.**  A kernel caches identity-keyed structures from
+its table (the action-slice memo entry, the shard-store reference, the
+interned state id).  ``QTable.restore()`` invalidates all of them, so
+construct a fresh ``ReplayKernel`` after any restore and never reuse
+one across a rollback.  Construction is a few dict lookups — per-episode
+construction is free compared to one replayed step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.rl.environment import AVAILABLE
+from repro.rl.qtable import _SCALAR_REDUCTION_LIMIT, QTable
+from repro.util.validate import ValidationError
+
+__all__ = ["ReplayKernel"]
+
+Action = Tuple[int, int]
+
+
+class ReplayKernel:
+    """Bit-exact mirror of the fused decision loop's Q-table operations.
+
+    Operates on the single-bucket ``AVAILABLE`` state (the fused fast
+    path's eligibility domain: plain Q-learning, one state bucket,
+    dense ``array``/``shard`` backend).  The RNG callables are passed
+    per call so the kernel itself holds no stream state — the caller
+    owns the ``reassign-policy`` stream exactly as ``_FastLane`` does.
+    """
+
+    __slots__ = ("table", "store", "exploit_p", "alpha", "sid", "_sm_entry")
+
+    def __init__(self, table: QTable, exploit_p: float, alpha: float) -> None:
+        if table.backend == "dict":
+            raise ValidationError(
+                "ReplayKernel requires a dense (array/shard) Q-table"
+            )
+        self.table = table
+        self.store = table._store if table.backend == "shard" else None
+        self.exploit_p = float(exploit_p)
+        self.alpha = float(alpha)
+        self.sid = table._state_id(AVAILABLE)
+        # one-entry identity cache over the action-slice memo, primed
+        # with the empty tuple exactly as the fused loop primes it
+        # (draws nothing, interns nothing)
+        self._sm_entry = table._action_slice(())
+
+    def choose(
+        self,
+        pairs: Tuple[Action, ...],
+        rng_random: Callable[[], float],
+        rng_integers: Callable[[int], np.integer],
+    ) -> Tuple[Action, Optional[int]]:
+        """One ε-greedy selection; returns ``(action, sel_aid)``.
+
+        ``sel_aid`` is ``None`` on exploration (the fused loop interns
+        the chosen action's id lazily at update time in that case, and
+        the draw order depends on it — so the replay must too).
+        """
+        table = self.table
+        store = self.store
+        sid = self.sid
+        if rng_random() < self.exploit_p:
+            entry = self._sm_entry
+            if entry[0] is not pairs:
+                entry = table._action_slice(pairs)
+                self._sm_entry = entry
+            aids, id_list, ensured = entry[1], entry[2], entry[3]
+            if sid not in ensured:
+                # full-row shortcut: with the single bucket row fully
+                # initialized, _ensure_known has nothing left to draw
+                if (
+                    table._n_known != len(table._actions)
+                    or len(table._states) != 1
+                ):
+                    table._ensure_known(sid, aids)
+                ensured.add(sid)
+            row = store.q_row(sid) if store is not None else table._q[sid]
+            if len(id_list) < _SCALAR_REDUCTION_LIMIT:
+                values_list = [row[a] for a in id_list]
+                cut = max(values_list) - 1e-15
+                tie_list = [
+                    i for i, v in enumerate(values_list) if v >= cut
+                ]
+                if len(tie_list) == 1:
+                    i = tie_list[0]
+                else:
+                    i = tie_list[int(rng_integers(len(tie_list)))]
+            else:
+                values = row.take(aids)
+                i = int(values.argmax())
+                band = values >= values[i] - 1e-15
+                cnt = int(band.sum())
+                if cnt > 1:
+                    ties = np.flatnonzero(band)
+                    i = int(ties[int(rng_integers(cnt))])
+            return pairs[i], id_list[i]
+        return pairs[int(rng_integers(len(pairs)))], None
+
+    def future(self, next_pairs: Tuple[Action, ...]) -> float:
+        """Next-state max over the post-dispatch action space (gather)."""
+        if not next_pairs:
+            return 0.0
+        table = self.table
+        store = self.store
+        sid = self.sid
+        entry = self._sm_entry
+        if entry[0] is not next_pairs:
+            entry = table._action_slice(next_pairs)
+            self._sm_entry = entry
+        aids, id_list, ensured = entry[1], entry[2], entry[3]
+        if sid not in ensured:
+            if (
+                table._n_known != len(table._actions)
+                or len(table._states) != 1
+            ):
+                table._ensure_known(sid, aids)
+            ensured.add(sid)
+        row = store.q_row(sid) if store is not None else table._q[sid]
+        if len(id_list) < _SCALAR_REDUCTION_LIMIT:
+            best = row[id_list[0]]
+            for a in id_list[1:]:
+                v = row[a]
+                if v > best:
+                    best = v
+            return float(best)
+        return float(row.take(aids).max())
+
+    def apply(
+        self,
+        action: Action,
+        sel_aid: Optional[int],
+        r_t: float,
+        gamma_t: float,
+        future: float,
+    ) -> float:
+        """The Eq.-3 write (gather → fused delta → scatter); returns Q'."""
+        table = self.table
+        store = self.store
+        sid = self.sid
+        if sel_aid is None:
+            sel_aid = table._action_id(action)
+        if store is not None:
+            known_row = store.known_row(sid)
+            qrow = store.q_row(sid)
+        else:
+            known_row = table._known[sid]
+            qrow = table._q[sid]
+        if known_row[sel_aid]:
+            q_sa = float(qrow[sel_aid])
+        else:
+            q_sa = float(table._rng.uniform(0.0, table._init_scale))
+            qrow[sel_aid] = q_sa
+            known_row[sel_aid] = True
+            table._n_known += 1
+        delta = r_t + gamma_t * future - q_sa
+        q_new = q_sa + float(self.alpha * delta)
+        qrow[sel_aid] = q_new
+        return q_new

@@ -337,6 +337,17 @@ class ParallelRunner:
         available (fast, shares the loaded library image) else
         ``spawn``.  Override with the ``REPRO_MP_CONTEXT`` environment
         variable.
+    persistent:
+        Keep one process pool alive across :meth:`run`/:meth:`imap`
+        calls instead of building and tearing one down per call.  The
+        workers — and their module-global kernel caches — survive
+        between batches, which is what lets callers that dispatch many
+        small waves (the distributed learner) pay the kernel build once
+        per worker for the whole campaign.  With ``persistent=True``
+        even ``workers=1`` runs through a real one-process pool (the
+        point is the long-lived worker, not the parallelism).  Use as a
+        context manager, or call :meth:`close` when done; after
+        ``close()`` the next call lazily starts a fresh pool.
 
     Examples
     --------
@@ -357,6 +368,7 @@ class ParallelRunner:
         chunk_size: int = 1,
         progress: Optional[ProgressFn] = None,
         mp_context: Optional[str] = None,
+        persistent: bool = False,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.run_id = str(run_id)
@@ -368,6 +380,8 @@ class ParallelRunner:
         if mp_context is None:
             mp_context = os.environ.get("REPRO_MP_CONTEXT", "").strip() or None
         self._mp_context = mp_context
+        self.persistent = bool(persistent)
+        self._executor: Optional[ProcessPoolExecutor] = None
 
     # -- seeding -------------------------------------------------------------
 
@@ -420,7 +434,9 @@ class ParallelRunner:
         prepared = self._prepare(list(tasks))
         if not prepared:
             return
-        if self.workers == 1:
+        # persistent mode always goes through a real pool, even at
+        # workers=1: the long-lived worker process is the feature
+        if self.workers == 1 and not self.persistent:
             yield from self._imap_serial(prepared)
         else:
             yield from self._imap_pool(prepared)
@@ -464,35 +480,62 @@ class ParallelRunner:
             max_workers=self.workers, mp_context=mp.get_context(name)
         )
 
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        """The persistent pool, started lazily (and after any close())."""
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent; lazily restartable)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
     def _imap_pool(self, prepared) -> Iterator[TaskResult]:
         total = len(prepared)
         chunks = [
             prepared[i : i + self.chunk_size]
             for i in range(0, total, self.chunk_size)
         ]
-        with self._make_executor() as pool:
-            pending = {pool.submit(_execute_chunk, chunk) for chunk in chunks}
-            buffered: Dict[int, TaskResult] = {}
-            next_index = 0
-            done_count = 0
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    for result in future.result():
-                        done_count += 1
-                        if self.progress is not None:
-                            self.progress(done_count, total, result)
-                        buffered[result.index] = result
-                # stream everything contiguous from the front
-                while next_index in buffered:
-                    yield buffered.pop(next_index)
-                    next_index += 1
-            while next_index in buffered:  # pragma: no cover - defensive
+        if self.persistent:
+            yield from self._drain_pool(self._ensure_executor(), chunks, total)
+        else:
+            with self._make_executor() as pool:
+                yield from self._drain_pool(pool, chunks, total)
+
+    def _drain_pool(
+        self, pool: ProcessPoolExecutor, chunks, total: int
+    ) -> Iterator[TaskResult]:
+        pending = {pool.submit(_execute_chunk, chunk) for chunk in chunks}
+        buffered: Dict[int, TaskResult] = {}
+        next_index = 0
+        done_count = 0
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                for result in future.result():
+                    done_count += 1
+                    if self.progress is not None:
+                        self.progress(done_count, total, result)
+                    buffered[result.index] = result
+            # stream everything contiguous from the front
+            while next_index in buffered:
                 yield buffered.pop(next_index)
                 next_index += 1
+        while next_index in buffered:  # pragma: no cover - defensive
+            yield buffered.pop(next_index)
+            next_index += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        persistent = ", persistent=True" if self.persistent else ""
         return (
             f"ParallelRunner(workers={self.workers}, run_id={self.run_id!r}, "
-            f"seed={self.seed}, chunk_size={self.chunk_size})"
+            f"seed={self.seed}, chunk_size={self.chunk_size}{persistent})"
         )

@@ -1,18 +1,224 @@
-"""Execution-trace rendering (text Gantt charts).
+"""Execution traces: decision-trace capture and text Gantt rendering.
 
-``gantt_text`` turns a :class:`~repro.sim.metrics.SimulationResult` into an
-ASCII Gantt chart — one row per VM, time flowing rightward — which is how
-the examples visualize where HEFT and ReASSIgN place work without any
-plotting dependency.
+Two kinds of trace live here:
+
+- **Decision traces** — the per-step record stream the distributed
+  learner's rollout actors emit (`docs/performance.md`, "Distributed
+  learning").  :class:`DecisionStep` captures one scheduling decision
+  (the interned action space, the chosen action, the ε-draw outcome,
+  the observed ``(te, tf)`` the reward saw, the post-dispatch action
+  space and the progress counter that determines the bucketed state
+  label); :class:`EpisodeTrace` bundles an episode's steps with its
+  simulation outcome.  :class:`TracingScheduler` records them around
+  any :class:`~repro.schedulers.base.OnlineScheduler` without
+  perturbing a single RNG draw, and :class:`ReplayContext` /
+  :class:`ReplayPending` are the duck-typed stand-ins the ordered
+  replay learner feeds back into a real scheduler's hooks.
+
+- **Gantt rendering** — ``gantt_text`` turns a
+  :class:`~repro.sim.metrics.SimulationResult` into an ASCII Gantt
+  chart, one row per VM, which is how the examples visualize where
+  HEFT and ReASSIgN place work without any plotting dependency.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.sim.metrics import ActivationRecord, SimulationResult
 
-__all__ = ["gantt_text"]
+__all__ = [
+    "DecisionStep",
+    "EpisodeTrace",
+    "ReplayContext",
+    "ReplayPending",
+    "TracingScheduler",
+    "gantt_text",
+]
+
+#: One ``(activation_id, vm_id)`` schedule action.
+Action = Tuple[int, int]
+
+
+@dataclass
+class DecisionStep:
+    """One traced scheduling decision (compact, picklable).
+
+    ``pairs``/``next_pairs`` are the interned ready × idle action
+    tuples at selection time and after the dispatch; ``n_finished`` is
+    the progress counter behind the (possibly bucketed) state label —
+    together they let a replay reconstruct the exact arguments every
+    scheduler hook saw.  ``explored`` is the actor's ε-draw outcome
+    (``None`` when the policy does not expose one), ``reward`` /
+    ``q_value`` the actor-side reward and written Q-value — purely
+    informational on stale bases, authoritative only when the base
+    snapshot version matches the true table.  ``table_version`` stamps
+    the Q-table version the actor consulted.
+    """
+
+    __slots__ = (
+        "pairs", "action", "explored", "te", "tf", "next_pairs",
+        "n_finished", "reward", "q_value", "table_version",
+    )
+
+    pairs: Tuple[Action, ...]
+    action: Action
+    explored: Optional[bool]
+    te: float
+    tf: float
+    next_pairs: Tuple[Action, ...]
+    n_finished: int
+    reward: float
+    q_value: Optional[float]
+    table_version: int
+
+
+@dataclass
+class EpisodeTrace:
+    """One rollout actor's episode: decisions plus simulation outcome.
+
+    ``base_version`` is the Q-table version of the snapshot the actor
+    started from; the learner compares it against the true table's
+    version at consume time to decide between direct application and
+    validated replay.  ``post_state`` optionally carries the actor's
+    complete post-episode learner state (shipped only for the wave-head
+    episode, whose base is guaranteed exact).
+    """
+
+    episode: int
+    seed: int
+    actor: int
+    base_version: int
+    steps: List[DecisionStep]
+    makespan: float
+    final_state: str
+    records: List[ActivationRecord] = field(default_factory=list)
+    steps_count: int = 0
+    reward_sum: float = 0.0
+    final_reward: float = 0.0
+    post_state: Optional[Any] = None
+
+
+class ReplayContext:
+    """Duck-typed :class:`~repro.sim.kernel.SimulationContext` stand-in.
+
+    Carries exactly the fields ``ReassignScheduler`` reads in
+    ``select``/``on_dispatched``: the interned action pairs (also used
+    as the availability indicator), the workflow (for bucketed state
+    labels) and the progress counter.  Feeding a traced episode back
+    through these is what lets the ordered replay learner drive the
+    *true* scheduler without a simulator.
+    """
+
+    __slots__ = (
+        "action_pairs", "ready_activations", "idle_vms", "workflow",
+        "n_finished",
+    )
+
+    def __init__(
+        self,
+        pairs: Tuple[Action, ...],
+        workflow: Any = None,
+        n_finished: int = 0,
+    ) -> None:
+        self.action_pairs = pairs
+        # availability flags: non-empty iff pairs is (the scheduler only
+        # checks truthiness, never the contents)
+        self.ready_activations = pairs
+        self.idle_vms = pairs
+        self.workflow = workflow
+        self.n_finished = n_finished
+
+
+class ReplayPending:
+    """Duck-typed :class:`~repro.sim.kernel.PendingExecution` stand-in.
+
+    Only the four fields the reward step reads.
+    """
+
+    __slots__ = ("activation_id", "vm_id", "planned_execution_time",
+                 "queue_time")
+
+    def __init__(self, activation_id: int, vm_id: int, te: float,
+                 tf: float) -> None:
+        self.activation_id = activation_id
+        self.vm_id = vm_id
+        self.planned_execution_time = te
+        self.queue_time = tf
+
+
+class TracingScheduler:
+    """Record a :class:`DecisionStep` stream around any online scheduler.
+
+    Implements the :class:`~repro.schedulers.base.OnlineScheduler` hook
+    protocol structurally (no inheritance — the simulation kernel duck
+    types its scheduler, and importing the base class here would cycle
+    through ``repro.sim``).  Pure observation: every hook forwards to
+    the wrapped scheduler with unchanged arguments, so the inner
+    scheduler's draws, updates and results are bit-identical to an
+    untraced run.  After each episode
+    (``on_simulation_end``), the completed step list is available as
+    ``self.steps``; :attr:`last_explored` is read from the inner
+    policy when it exposes the ε-coin outcome
+    (:class:`~repro.rl.policy.EpsilonGreedyPolicy`).
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+        self.steps: List[DecisionStep] = []
+        self._open: Optional[List[Any]] = None
+
+    def on_simulation_start(self, ctx: Any) -> None:
+        self.steps = []
+        self._open = None
+        self.inner.on_simulation_start(ctx)
+
+    def select(self, ctx: Any) -> Optional[Hashable]:
+        pairs = ctx.action_pairs
+        n_finished = ctx.n_finished
+        before = getattr(self.inner, "_reward_sum", 0.0)
+        action = self.inner.select(ctx)
+        if action is None:
+            return None
+        explored = getattr(
+            getattr(self.inner, "policy", None), "last_explored", None
+        )
+        version = 0
+        table = getattr(self.inner, "qtable", None)
+        if table is not None:
+            version = getattr(table, "version", 0)
+        # te/tf/next_pairs/reward are filled in at on_dispatched
+        self._open = [pairs, action, explored, n_finished, before, version]
+        return action
+
+    def on_dispatched(self, ctx: Any, pending: Any) -> None:
+        open_step = self._open
+        self.inner.on_dispatched(ctx, pending)
+        if open_step is not None:
+            pairs, action, explored, n_finished, before, version = open_step
+            after = getattr(self.inner, "_reward_sum", 0.0)
+            self.steps.append(
+                DecisionStep(
+                    pairs=pairs,
+                    action=action,
+                    explored=explored,
+                    te=pending.planned_execution_time,
+                    tf=pending.queue_time,
+                    next_pairs=ctx.action_pairs,
+                    n_finished=n_finished,
+                    reward=after - before,
+                    q_value=None,
+                    table_version=version,
+                )
+            )
+            self._open = None
+
+    def on_activation_finished(self, ctx: Any, record: Any) -> None:
+        self.inner.on_activation_finished(ctx, record)
+
+    def on_simulation_end(self, ctx: Any, result: Any) -> None:
+        self.inner.on_simulation_end(ctx, result)
 
 
 def _label_char(activation_id: int) -> str:

@@ -163,6 +163,32 @@ def _learn_member_batch(payload, seed: int) -> List[EnsembleMemberResult]:
     ]
 
 
+def _learn_member_distributed(payload, seed: int) -> EnsembleMemberResult:
+    """Learn one member through the distributed actor/learner engine.
+
+    Bit-identical to :func:`_learn_member` at any actor count (see
+    :func:`repro.core.distributed.learn_distributed`); the parallelism
+    lives inside the run, so campaigns using it stay at ``workers=1``.
+    """
+    from repro.core.distributed import learn_distributed
+    from repro.core.reassign import ReassignParams
+    from repro.experiments.environments import fleet_for
+
+    member, n_activations, vcpus, episodes, actors = payload
+    wf = montage(n_activations, seed=seed)
+    params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
+    result = learn_distributed(
+        wf, fleet_for(vcpus), params, seed=seed, n_actors=actors
+    )
+    return EnsembleMemberResult(
+        member=member,
+        workflow_name=wf.name,
+        seed=seed,
+        simulated_makespan=result.simulated_makespan,
+        plan_json=result.plan.to_json(),
+    )
+
+
 def run_ensemble_campaign(
     n_instances: int,
     *,
@@ -173,6 +199,7 @@ def run_ensemble_campaign(
     workers: Optional[int] = 1,
     progress=None,
     batch: int = 8,
+    actors: int = 1,
 ) -> List[EnsembleMemberResult]:
     """Learn an independent ReASSIgN plan for each ensemble member.
 
@@ -188,9 +215,20 @@ def run_ensemble_campaign(
     derived per-member seeds ride inside the packed payloads, so every
     batch size produces byte-identical member results.  Pass ``batch=1``
     for the historical one-member-per-task path.
+
+    ``actors > 1`` learns each member through the distributed
+    actor/learner engine instead (bit-identical results; mutually
+    exclusive with ``batch > 1``, and meant for ``workers=1``).
     """
     if n_instances < 1:
         raise ValidationError("n_instances must be >= 1")
+    if actors < 1:
+        raise ValidationError(f"actors must be >= 1, got {actors}")
+    if actors > 1 and batch > 1:
+        raise ValidationError(
+            "actors > 1 and batch > 1 are mutually exclusive: pick the "
+            "distributed actor/learner engine or the batched lockstep engine"
+        )
     runner = ParallelRunner(
         workers=workers,
         run_id=f"ensemble:{n_instances}x{n_activations}:{vcpus}",
@@ -216,14 +254,24 @@ def run_ensemble_campaign(
             for r in runner.run(tasks)
             for member_result in r.value
         ]
-    tasks = [
-        Task(
-            key=("member", k),
-            fn=_learn_member,
-            payload=(k, n_activations, vcpus, episodes),
-        )
-        for k in range(n_instances)
-    ]
+    if actors > 1:
+        tasks = [
+            Task(
+                key=("member", k),
+                fn=_learn_member_distributed,
+                payload=(k, n_activations, vcpus, episodes, actors),
+            )
+            for k in range(n_instances)
+        ]
+    else:
+        tasks = [
+            Task(
+                key=("member", k),
+                fn=_learn_member,
+                payload=(k, n_activations, vcpus, episodes),
+            )
+            for k in range(n_instances)
+        ]
     return [r.value for r in runner.run(tasks)]
 
 

@@ -103,6 +103,47 @@ class TestTableCommand:
         assert "Table V" in capsys.readouterr().out
 
 
+class TestActorsFlag:
+    """The --actors/--batch/--workers interplay, validated centrally."""
+
+    def test_actors_rejects_bad_values(self, capsys):
+        for bad in ("0", "-3", "two"):
+            with pytest.raises(SystemExit):
+                main(["learn", "--actors", bad])
+            assert "actors must be" in capsys.readouterr().err
+
+    def test_actors_and_batch_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["learn", "--actors", "2", "--batch", "4"])
+        assert "--batch" in capsys.readouterr().err
+
+    def test_actors_and_workers_mutually_exclusive(self, capsys):
+        for cmd in ("sweep", "ensemble"):
+            with pytest.raises(SystemExit):
+                main([cmd, "--actors", "2", "--workers", "2"])
+            assert "--workers" in capsys.readouterr().err
+
+    def test_actors_with_explicit_batch_1_allowed(self, capsys):
+        rc = main(["learn", "--size", "15", "--episodes", "2",
+                   "--actors", "2", "--batch", "1"])
+        assert rc == 0
+        assert "actors" in capsys.readouterr().out
+
+    def test_learn_with_actors_matches_serial(self, capsys):
+        argv = ["learn", "--size", "15", "--episodes", "3", "--seed", "5"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--actors", "2"]) == 0
+        actors_out = capsys.readouterr().out
+        pick = lambda text: [  # noqa: E731 - tiny local filter
+            line for line in text.splitlines()
+            if line.startswith(("first episode", "best episode",
+                                "plan makespan"))
+        ]
+        assert pick(actors_out) == pick(serial_out)
+        assert "mode=" in actors_out
+
+
 class TestReproduceCommand:
     def test_reproduce_writes_artifacts(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_EPISODES", "2")

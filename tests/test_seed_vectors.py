@@ -1,0 +1,86 @@
+"""Pinned seed-derivation vectors — the determinism contract, frozen.
+
+Every parallel feature in this tree (worker pools, batched lanes,
+distributed actors) leans on the same stateless sha256 derivations:
+:func:`repro.util.rng.derive_seed` for namespaced child seeds,
+:func:`repro.runner.parallel.task_seed` for per-task seeds, and
+``RngService.spawn_seed`` for episode streams.  Bit-identical results
+across worker/actor/batch counts hold **only** while these functions
+return exactly what they returned when the golden artifacts
+(``results/BENCH_*.json`` fingerprints, plan goldens, the distributed
+engine's actor interleave) were frozen.
+
+These vectors pin the outputs to literal values.  If any assertion here
+fails, the derivation changed — every frozen artifact and cross-process
+reproducibility claim in the repository is void, and the change must be
+reverted (or every golden regenerated and the break called out loudly).
+"""
+
+from repro.runner.parallel import task_seed
+from repro.util.rng import RngService, derive_seed
+
+#: (root_seed, name) -> derive_seed(root_seed, name)
+DERIVE_SEED_VECTORS = {
+    (0, "actor-interleave"): 6653388476772669241,
+    (1, "actor-episode:0"): 958593799341694657,
+    (1, "actor-episode:7"): 1573882340469010161,
+    (42, "task:x"): 5206874548063706234,
+    (123456789, "episode"): 4794139152587123073,
+    (5, "actor-interleave"): 2088698925016649460,
+}
+
+#: (root_seed, run_id, task_key) -> task_seed(...)
+TASK_SEED_VECTORS = {
+    (0, "distributed-learn:0", ("episode", 0)): 798358583069273057,
+    (1, "paper-sweep:montage-50", (16, 0.5, 1.0, 0.1)): 431734787101292088,
+    (7, "ensemble:4x25:16", ("member", 3)): 3450899504139839715,
+}
+
+#: RngService(1).spawn_seed("episode:i") for i in 0..2 — the per-episode
+#: environment seeds every learning engine derives.
+EPISODE_SPAWN_VECTORS = [
+    7773001449826032891,
+    1719187160671691924,
+    1631016480423295652,
+]
+
+#: The distributed engine's fixed actor->episode interleave for
+#: seed=5, n_actors=4 (see repro.core.distributed.learn_distributed).
+ACTOR_INTERLEAVE_SEED5_N4 = [3, 2, 1, 0]
+
+
+def test_derive_seed_pinned():
+    for (root, name), expected in DERIVE_SEED_VECTORS.items():
+        assert derive_seed(root, name) == expected, (root, name)
+
+
+def test_derive_seed_range_and_stability():
+    for (root, name), expected in DERIVE_SEED_VECTORS.items():
+        # stateless: repeated calls agree, and values fit a 63-bit seed
+        assert derive_seed(root, name) == derive_seed(root, name)
+        assert 0 <= expected < 2**63
+
+
+def test_task_seed_pinned():
+    for (root, run_id, key), expected in TASK_SEED_VECTORS.items():
+        assert task_seed(root, run_id, key) == expected, (root, run_id, key)
+
+
+def test_episode_spawn_seeds_pinned():
+    rng = RngService(1)
+    got = [rng.spawn_seed(f"episode:{i}") for i in range(3)]
+    assert got == EPISODE_SPAWN_VECTORS
+    # spawn_seed is stateless in the service root: a fresh service
+    # yields the same streams in any order
+    fresh = RngService(1)
+    assert fresh.spawn_seed("episode:2") == EPISODE_SPAWN_VECTORS[2]
+    assert fresh.spawn_seed("episode:0") == EPISODE_SPAWN_VECTORS[0]
+
+
+def test_actor_interleave_pinned():
+    perm = (
+        RngService(derive_seed(5, "actor-interleave"))
+        .stream("actor-interleave")
+        .permutation(4)
+    )
+    assert [int(x) for x in perm] == ACTOR_INTERLEAVE_SEED5_N4

@@ -57,6 +57,12 @@ GUARDED: Dict[str, List[str]] = {
     # process at the frozen paper-scale protocol (see
     # benchmarks/test_batched_engine.py).
     "results/BENCH_batched_engine.json": ["batched_vs_serial_speedup"],
+    # Distributed actor/learner engine vs the serial learner, both arms
+    # equivalence-gated in the same process at the frozen Montage-50
+    # protocol (see benchmarks/test_distributed_learning.py).
+    "results/BENCH_distributed_learning.json": [
+        "distributed_vs_serial_speedup"
+    ],
 }
 
 
@@ -73,6 +79,7 @@ def _frozen(path: str, ref: str) -> Optional[dict]:
 
 def check(tolerance: float, ref: str) -> int:
     failures = 0
+    rows: List[tuple] = []
     for rel_path, metrics in sorted(GUARDED.items()):
         fresh_file = REPO_ROOT / rel_path
         if not fresh_file.is_file():
@@ -101,6 +108,19 @@ def check(tolerance: float, ref: str) -> int:
                   f"floor={floor:.3f}")
             if fresh_value < floor:
                 failures += 1
+            rows.append((rel_path, metric, fresh_value, frozen_value,
+                         verdict))
+    if rows:
+        # one line per guarded ratio, markdown-friendly for CI job
+        # summaries: metric | fresh | frozen | fresh/frozen | verdict
+        print()
+        print("| benchmark:metric | fresh | frozen | ratio | verdict |")
+        print("|---|---|---|---|---|")
+        for rel_path, metric, fresh_value, frozen_value, verdict in rows:
+            name = Path(rel_path).stem.replace("BENCH_", "")
+            print(f"| {name}:{metric} | {fresh_value:.3f} "
+                  f"| {frozen_value:.3f} "
+                  f"| {fresh_value / frozen_value:.2f} | {verdict} |")
     return 1 if failures else 0
 
 

@@ -70,6 +70,26 @@ def best_of(reps, run, elapsed=lambda r: r[1]):
     return best
 
 
+def host_provenance():
+    """Host facts every frozen ``BENCH_*.json`` must carry.
+
+    ``host_cores`` is the distributed engine's own core count (CPU
+    affinity aware, so container quotas are respected) and ``pool_mode``
+    is the actor transport its ``mode="auto"`` would resolve to on this
+    host.  Ratio metrics divide machine speed out, but *which engine
+    path* produced a frozen number is not divisible away — a single-core
+    runner records inline-engine ratios that a multi-core reader would
+    otherwise misattribute to the process pool.
+    """
+    from repro.core.distributed import host_cores
+
+    cores = host_cores()
+    return {
+        "host_cores": cores,
+        "pool_mode": "pool" if cores > 1 else "inline",
+    }
+
+
 def git_head():
     """Short HEAD hash for artifact provenance ('unknown' outside git)."""
     probe = subprocess.run(

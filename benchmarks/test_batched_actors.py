@@ -1,0 +1,195 @@
+"""Batched-actor benchmark — fused wave chunks vs one-episode waves.
+
+Times the distributed actor/learner engine on Montage-50 (16-vCPU
+Table-I fleet, paper parameters α=0.5, γ=1.0, ε=0.1, 100 episodes) two
+ways, holding the actor count fixed at 4:
+
+- **single** (``batch=1``): the pre-chunking wave protocol — every
+  actor speculates exactly one episode per wave, so the engine ships a
+  snapshot base, dispatches a task and validates a trace once per
+  committed episode;
+- **fused** (``batch=8``): the chunked wave protocol — every actor
+  rolls out eight chained episodes per wave chunk through the fused
+  lane stepper, so snapshot shipping, worker dispatch and wave
+  bookkeeping amortize over the whole chain.
+
+Both arms pin ``mode="pool"``: the wave protocol under measurement is
+the actor-pool transport (on the inline engine the dedicated
+plain-inline loop drives every episode directly on the learner chain,
+so chunk depth cannot matter there by construction).  The guarded
+ratio is an *engine vs itself* A/B in the same process tree, so a
+slower host moves both arms together; even on a single core — where
+the pool buys no overlap — the ratio isolates exactly the per-task
+IPC/checkpoint amortization.  ``host_cores``/``pool_mode`` in the
+frozen artifact say which regime produced a number.
+
+Equivalence gates every number: both arms must agree bit for bit on
+the deterministic :func:`~conftest.learning_fingerprint` — the chunked
+protocol's contract is that ``(n_actors, batch)`` never changes a
+single result byte.
+
+Results go to ``results/batched_actors.md`` (prose) and
+``results/BENCH_batched_actors.json`` (machine-readable; the
+``fused_wave_vs_single_speedup`` ratio is frozen and guarded by
+``tools/bench_guard.py``).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.distributed import learn_distributed
+from repro.core.reassign import ReassignParams
+from repro.experiments.environments import fleet_for
+from repro.workflows.montage import montage
+
+from conftest import (
+    gc_paused,
+    git_head,
+    host_provenance,
+    learning_fingerprint,
+    save_artifact,
+)
+
+#: The frozen protocol: Montage-50, 100 episodes, 4 actors, chunk depth
+#: 8 in the fused arm.  Deliberately NOT scaled by REPRO_EPISODES: the
+#: guarded ratio amortizes per-wave overheads over the episode count,
+#: so fresh CI values are only comparable to the frozen baseline at the
+#: frozen episode count.  The fast variant economizes via reps.
+_EPISODES = 100
+_ACTORS = 4
+_BATCH = 8
+
+
+def _params():
+    return ReassignParams(
+        alpha=0.5, gamma=1.0, epsilon=0.1, episodes=_EPISODES
+    )
+
+
+def _arm(wf, fleet, batch):
+    """One pool-mode distributed run at the given wave chunk depth."""
+    stats = {}
+    with gc_paused():
+        started = time.perf_counter()
+        result = learn_distributed(
+            wf, fleet, _params(), seed=1, n_actors=_ACTORS, batch=batch,
+            mode="pool", stats_out=stats,
+        )
+        elapsed = time.perf_counter() - started
+    return result, elapsed, stats
+
+
+def _bench_json(reps, single_s, fused_s, single_stats, fused_stats):
+    payload = {
+        "benchmark": "batched_actors",
+        "workflow": "montage-50",
+        "vcpus": 16,
+        "episodes": _EPISODES,
+        "n_actors": _ACTORS,
+        "fused_batch": _BATCH,
+        "reps_best_of": reps,
+        **host_provenance(),
+        "commit": git_head(),
+        "single_seconds": single_s,
+        "single_eps_per_sec": _EPISODES / single_s,
+        "single_waves": single_stats["waves"],
+        "fused_seconds": fused_s,
+        "fused_eps_per_sec": _EPISODES / fused_s,
+        "fused_waves": fused_stats["waves"],
+        "fused_wave_vs_single_speedup": single_s / fused_s,
+        "mode": fused_stats["mode"],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def _render_note(reps, single_s, fused_s, single_stats, fused_stats):
+    return "\n".join([
+        "# Batched speculative rollout (wave chunk depth A/B)",
+        "",
+        f"- host cores: {host_provenance()['host_cores']} "
+        f"(auto would pick {host_provenance()['pool_mode']}; both arms "
+        f"pin mode={fused_stats['mode']})",
+        f"- commit: {git_head()}",
+        "- workflow: Montage-50, 16-vCPU Table-I fleet, a=0.5 g=1.0 "
+        "e=0.1",
+        f"- episodes per arm: {_EPISODES}, {_ACTORS} actors "
+        f"(best of {reps})",
+        f"- batch=1 (one episode per actor wave): {single_s:.3f} s "
+        f"({_EPISODES / single_s:.1f} eps/s, "
+        f"{single_stats['waves']} waves)",
+        f"- batch={_BATCH} (fused wave chunks): {fused_s:.3f} s "
+        f"({_EPISODES / fused_s:.1f} eps/s, "
+        f"{fused_stats['waves']} waves)",
+        f"- fused vs single: {single_s / fused_s:.2f}x",
+        "",
+        "Both arms produced bit-identical learning fingerprints before",
+        "any throughput counted.  Holding the actor count and the pool",
+        "transport fixed, the ratio isolates the chunked wave protocol:",
+        "driving B chained episodes per actor chunk amortizes snapshot",
+        "shipping, worker dispatch and wave bookkeeping that the",
+        "batch=1 protocol pays once per committed episode.",
+    ])
+
+
+def _run_and_record(results_dir, reps):
+    wf = montage(50, seed=1)
+    fleet = fleet_for(16)
+    # warmup outside the timed reps (primes numpy, kernel caches)
+    _arm(wf, fleet, _BATCH)
+    _arm(wf, fleet, 1)
+    # interleave the arms rep by rep so a host noise window inflates
+    # both instead of landing entirely on one (see conftest docstring)
+    single_res, single_s, single_stats = _arm(wf, fleet, 1)
+    fused_res, fused_s, fused_stats = _arm(wf, fleet, _BATCH)
+    for _ in range(reps - 1):
+        res, secs, st = _arm(wf, fleet, 1)
+        if secs < single_s:
+            single_res, single_s, single_stats = res, secs, st
+        res, secs, st = _arm(wf, fleet, _BATCH)
+        if secs < fused_s:
+            fused_res, fused_s, fused_stats = res, secs, st
+    assert learning_fingerprint(fused_res) == learning_fingerprint(
+        single_res
+    ), "wave chunk depth changed the learning result — numbers void"
+    save_artifact(
+        results_dir,
+        "batched_actors.md",
+        _render_note(reps, single_s, fused_s, single_stats, fused_stats),
+    )
+    save_artifact(
+        results_dir,
+        "BENCH_batched_actors.json",
+        _bench_json(reps, single_s, fused_s, single_stats, fused_stats),
+    )
+    return single_s, fused_s
+
+
+@pytest.mark.fast
+def test_batched_actors_fast(results_dir):
+    """CI A/B at the frozen protocol, single rep.
+
+    Runs the exact frozen-baseline protocol so the fresh
+    ``fused_wave_vs_single_speedup`` is comparable to the frozen one;
+    the single rep keeps it CI-sized.  The strict >=1.4x assertion
+    lives in the full variant — here the fused arm must simply not be
+    slower, and the frozen-ratio regression check is
+    ``tools/bench_guard.py``'s job (fresh ratio >= 0.75 x frozen).
+    """
+    single_s, fused_s = _run_and_record(results_dir, reps=1)
+    assert fused_s <= single_s, (
+        f"fused wave chunks slower than one-episode waves: "
+        f"{fused_s:.3f}s vs {single_s:.3f}s"
+    )
+
+
+def test_batched_actors_full(results_dir):
+    """Full A/B, >=1.4x over the one-episode-per-wave protocol."""
+    single_s, fused_s = _run_and_record(results_dir, reps=5)
+    speedup = single_s / fused_s
+    assert speedup >= 1.4, (
+        f"expected >=1.4x from wave chunking: "
+        f"batch=1 {single_s:.3f}s, batch={_BATCH} {fused_s:.3f}s "
+        f"({speedup:.2f}x)"
+    )

@@ -42,6 +42,7 @@ from conftest import (
     best_of,
     gc_paused,
     git_head,
+    host_provenance,
     learning_fingerprint,
     save_artifact,
 )
@@ -100,7 +101,7 @@ def _bench_json(episodes, reps, n_cells, serial_s, batched_s):
         "n_cells": n_cells,
         "episodes_per_cell": episodes,
         "reps_best_of": reps,
-        "host_cores": os.cpu_count() or 1,
+        **host_provenance(),
         "commit": git_head(),
         "serial_seconds": serial_s,
         "serial_eps_per_sec": total_episodes / serial_s,

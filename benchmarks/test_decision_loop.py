@@ -58,7 +58,13 @@ from repro.util.rng import RngService
 from repro.util.stats import RunningStats
 from repro.workflows.montage import montage
 
-from conftest import best_of, gc_paused, git_head, save_artifact
+from conftest import (
+    best_of,
+    gc_paused,
+    git_head,
+    host_provenance,
+    save_artifact,
+)
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
 _BASELINE_COMMIT = "01b95de"
@@ -238,7 +244,7 @@ def _bench_json(episodes, reps, fast_s, legacy_s, pre):
         "vcpus": 16,
         "episodes": episodes,
         "reps_best_of": reps,
-        "host_cores": os.cpu_count() or 1,
+        **host_provenance(),
         "commit": git_head(),
         "baseline_commit": _BASELINE_COMMIT,
         "fast_seconds": fast_s,

@@ -49,7 +49,7 @@ from repro.sim.simulator import WorkflowSimulator
 from repro.util.rng import RngService
 from repro.workflows.montage import montage
 
-from conftest import save_artifact
+from conftest import host_provenance, save_artifact
 
 _FLUCTUATION = dict(credit_seconds=60.0, throttle_factor=2.0)
 
@@ -141,7 +141,7 @@ def _bench_json(episodes, facade_s, kernel_s):
             "workflow": "montage-50",
             "vcpus": 16,
             "episodes": episodes,
-            "host_cores": os.cpu_count() or 1,
+            **host_provenance(),
             "facade_seconds": facade_s,
             "facade_eps_per_sec": episodes / facade_s,
             "kernel_seconds": kernel_s,

@@ -30,7 +30,7 @@ import pytest
 from repro.analysis import analyze_project
 from repro.analysis.report import render
 
-from conftest import save_artifact
+from conftest import host_provenance, save_artifact
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 _WARM_REPEATS = 3
@@ -67,7 +67,7 @@ def _bench_json(report, cold_wall, warm_wall, ratio):
             "corpus": "src",
             "files_scanned": report.files_scanned,
             "n_findings": len(report.findings),
-            "host_cores": os.cpu_count() or 1,
+            **host_provenance(),
             "cold_wall_seconds": cold_wall,
             "warm_wall_seconds": warm_wall,
             "cold_files_per_sec": report.files_scanned / cold_wall

@@ -42,7 +42,7 @@ from repro.service import (
     default_tenants,
 )
 
-from conftest import gc_paused, save_artifact
+from conftest import gc_paused, host_provenance, save_artifact
 
 #: Arrival burst: jobs/s of *simulated* time — high enough that the
 #: fleet is contended and multiplexing matters.
@@ -147,7 +147,7 @@ def _bench_json(n_jobs, result, service_wall, serial_sim, serial_wall,
             "rate_jobs_per_sim_sec": _RATE,
             "n_jobs": n_jobs,
             "n_activations": result.n_activations,
-            "host_cores": os.cpu_count() or 1,
+            **host_provenance(),
             "service_wall_seconds": service_wall,
             "scheduled_jobs_per_sec": jobs_per_sec,
             "scheduled_activations_per_sec": (

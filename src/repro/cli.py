@@ -106,9 +106,11 @@ def _resolve_parallelism(parser: argparse.ArgumentParser, args) -> None:
     One place for every subcommand, so the rules (and the error wording)
     cannot drift between ``learn``, ``sweep`` and ``ensemble``:
 
-    - ``--actors N`` (N > 1) and ``--batch B`` (B > 1) are mutually
-      exclusive: the distributed actor/learner engine and the batched
-      lockstep engine partition the same work differently.
+    - ``--actors N`` and ``--batch B`` *compose*: with actors, B is the
+      number of chained episodes each actor rolls out per speculative
+      wave chunk (the distributed engine drives B lockstep lanes per
+      actor); without actors, B is the lockstep lane pack size.  Either
+      way, every (N, B) pair is bit-identical to the serial learner.
     - ``--actors N`` (N > 1) and ``--workers W`` (W != 1) are mutually
       exclusive where both exist: nesting the per-run actor pool inside
       the per-run worker pool oversubscribes the host.
@@ -116,7 +118,7 @@ def _resolve_parallelism(parser: argparse.ArgumentParser, args) -> None:
     ``--batch`` parses with ``default=None`` so an *explicit* value can
     be told apart from the per-command default (1 for ``learn``, 8 for
     ``sweep``/``ensemble``); with ``--actors`` given, an unspecified
-    batch resolves to 1 instead of the default.
+    batch resolves to 1 (no speculation depth) instead of the default.
     """
     actors = getattr(args, "actors", None)
     if hasattr(args, "batch") and args.batch is None:
@@ -126,13 +128,6 @@ def _resolve_parallelism(parser: argparse.ArgumentParser, args) -> None:
             args.batch = 1 if args.command == "learn" else 8
     if actors is None or actors == 1:
         return
-    if getattr(args, "batch", 1) > 1:
-        parser.error(
-            f"--actors {actors} cannot be combined with --batch "
-            f"{args.batch}: the distributed actor/learner engine and the "
-            "batched lockstep engine are mutually exclusive (results are "
-            "bit-identical either way; drop one of the flags)"
-        )
     workers = getattr(args, "workers", 1)
     if workers != 1:
         parser.error(
@@ -174,18 +169,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--batch", type=_batch_arg, default=None, metavar="B",
             help=f"lockstep lanes per batched-engine task: up to B {what} "
-                 "advance through one shared simulation kernel per step "
-                 "(results are bit-identical for every B; 1 = the serial "
-                 "one-run-per-task path; default 8, or 1 with --actors)",
+                 "advance through one shared simulation kernel per step; "
+                 "with --actors, B chained episodes per actor wave chunk "
+                 "instead (results are bit-identical for every B; 1 = the "
+                 "serial one-run-per-task path; default 8, or 1 with "
+                 "--actors)",
         )
 
     def add_actors_arg(p, what: str):
         p.add_argument(
             "--actors", type=_actors_arg, default=None, metavar="N",
             help=f"distributed actor/learner engine: N speculative rollout "
-                 f"actors per {what} feed one ordered replay learner "
-                 "(results are bit-identical for every N; mutually "
-                 "exclusive with --batch > 1 and --workers != 1)",
+                 f"actors per {what} feed one ordered replay learner; "
+                 "composes with --batch B (B chained episodes per actor "
+                 "wave chunk; results are bit-identical for every N and B; "
+                 "mutually exclusive with --workers != 1)",
         )
 
     p = sub.add_parser(
@@ -203,7 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=_batch_arg, default=None, metavar="B",
         help="batched-engine lane budget; a single learn run always "
              "occupies one lane, and any B >= 1 yields bit-identical "
-             "results (the flag mirrors sweep/ensemble; default 1)",
+             "results; with --actors, B chained episodes per actor wave "
+             "chunk (the flag mirrors sweep/ensemble; default 1)",
     )
     add_actors_arg(p, "run")
 
@@ -352,7 +351,7 @@ def _cmd_learn(args) -> int:
         stats = {}
         result = learn_distributed(
             wf, fleet, params, seed=args.seed,
-            n_actors=args.actors, stats_out=stats,
+            n_actors=args.actors, batch=args.batch, stats_out=stats,
         )
     else:
         from repro.core.batch import BatchSpec, learn_batch
@@ -370,7 +369,8 @@ def _cmd_learn(args) -> int:
             else ", no speculation"
         )
         print(f"actors            = {stats['n_actors']} "
-              f"(mode={stats['mode']}, waves={stats['waves']}{spec})")
+              f"(batch={stats['batch']}, mode={stats['mode']}, "
+              f"waves={stats['waves']}{spec})")
     print(f"learning time     = {result.learning_time:.2f}s "
           f"({result.n_episodes} episodes)")
     print(f"first episode     = {result.episodes[0].makespan:.2f}s")

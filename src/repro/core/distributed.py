@@ -64,15 +64,15 @@ import os
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.batch import (
-    BatchSpec,
+from repro.core.batch import BatchSpec, _final_plan, _Lane
+from repro.core.episode import EpisodeRecord, LearningResult
+from repro.core.lane import (
+    EpisodeOutcome,
     _drive_episode,
     _FastLane,
-    _final_plan,
-    _Lane,
+    _LiteResult,
     fast_lane_eligible,
 )
-from repro.core.episode import EpisodeRecord, LearningResult
 from repro.core.reassign import (
     ReassignLearner,
     ReassignParams,
@@ -83,15 +83,15 @@ from repro.dag.graph import Workflow
 from repro.rl.replay import ReplayKernel
 from repro.sim.failures import FailureModel
 from repro.sim.fluctuation import FluctuationModel
-from repro.sim.kernel import EpisodeKernel
+from repro.sim.kernel import BatchEpisodeState, EpisodeKernel
 from repro.sim.metrics import SimulationResult
 from repro.sim.migration import MigrationModel
 from repro.sim.network import NetworkModel
 from repro.sim.trace import (
-    DecisionStep,
     EpisodeTrace,
     ReplayContext,
     ReplayPending,
+    TraceBuilder,
     TracingScheduler,
 )
 from repro.sim.vm import Vm
@@ -135,8 +135,19 @@ def host_cores() -> int:
 # -- fused-chain checkpointing ------------------------------------------------
 
 
-def _fused_checkpoint(lane: _FastLane) -> _FusedBase:
-    """Capture everything a rollout actor needs to *become* this lane."""
+def _fused_checkpoint(
+    lane: _FastLane, since: Optional[int] = None
+) -> _FusedBase:
+    """Capture everything a rollout actor needs to *become* this lane.
+
+    ``since=K`` captures the Q-table as a version-delta instead
+    (:meth:`QTable.snapshot`): only the rows touched at or after
+    version ``K`` travel, so a pool-transported checkpoint serializes
+    the touched rows plus the small lane scalars rather than the whole
+    store.  The receiver must hold the exact version-``K`` table the
+    delta patches (workers keep the pristine version-0 state cached and
+    reconstruct from there).
+    """
     reward_state: _RewardState = (
         lane.t, lane.steps, lane.reward_sum, lane.reward,
         dict(lane.pos), list(lane.exec_n), list(lane.exec_mean),
@@ -144,7 +155,7 @@ def _fused_checkpoint(lane: _FastLane) -> _FusedBase:
         lane.g_exec_n, lane.g_exec_mean, lane.g_queue_n, lane.g_queue_mean,
     )
     return (
-        lane.qtable.snapshot(),
+        lane.qtable.snapshot(since=since),
         lane.rng.bit_generator.state,
         reward_state,
     )
@@ -154,6 +165,9 @@ def _fused_restore(lane: _FastLane, base: _FusedBase) -> None:
     """Restore a lane from a checkpoint (reusable: copies on the way in)."""
     snap, rng_state, rw = base
     lane.qtable.restore(snap)
+    # rolling the table back invalidates the lean loop's action-slice
+    # cache (its id_lists assume monotonic interning)
+    lane.pairs_memo = {}
     # restore() swaps the backing store object on the shard backend
     lane.store = (
         lane.qtable._store
@@ -220,93 +234,137 @@ def _reward_step(lane: _FastLane, vm_id: int, te: float, tf: float) -> float:
 # -- actor-side episode execution ---------------------------------------------
 
 
-def _trace_from_fused(
-    lane: _FastLane,
-    result: SimulationResult,
-    steps: List[DecisionStep],
-    episode: int,
-    env_seed: int,
-    actor: int,
-    base_version: int,
-    want_post: bool,
-) -> EpisodeTrace:
-    return EpisodeTrace(
-        episode=episode,
-        seed=env_seed,
-        actor=actor,
-        base_version=base_version,
-        steps=steps,
-        makespan=result.makespan,
-        final_state=result.final_state,
-        records=list(result.records),
-        steps_count=lane.steps,
-        reward_sum=lane.reward_sum,
-        final_reward=lane.reward,
-        post_state=_fused_checkpoint(lane) if want_post else None,
-    )
-
-
-def _run_fused_actor(
+def _run_fused_chunk(
     kernel: EpisodeKernel,
     params: ReassignParams,
     spec_seed: int,
     base: _FusedBase,
-    episode: int,
-    env_seed: int,
+    chunk: Sequence[int],
+    env_seeds: Sequence[int],
     actor: int,
     want_post: bool,
-) -> EpisodeTrace:
-    """One speculative episode on a scratch lane restored from ``base``."""
-    lane = _FastLane(params, spec_seed)
+    last_episode: int,
+    lane: Optional[_FastLane] = None,
+    bstate: Optional[BatchEpisodeState] = None,
+) -> List[EpisodeTrace]:
+    """One speculative wave chunk: B chained episodes from one ``base``.
+
+    The lane is restored from ``base`` once, then runs the chunk's
+    episodes back to back — episode ``i`` speculates on the lane's own
+    evolution through episodes ``0..i-1``, exactly how the true learner
+    chain would evolve if the whole chunk is adopted.  Every trace is
+    stamped with the chunk's base version; ``want_post`` attaches the
+    post-chunk checkpoint to the *last* trace (wholesale adoption).
+
+    ``lane``/``bstate`` optionally reuse caller-owned scratch objects
+    (the lane is restored in place, the batch view ``reset()`` in
+    place) instead of rebuilding per chunk.  Episodes other than the
+    run's ``last_episode`` run lite — their traces carry the
+    completion-ordered assignment instead of full records.
+    """
+    if lane is None:
+        lane = _FastLane(params, spec_seed)
     _fused_restore(lane, base)
     base_version = lane.qtable.version
-    steps: List[DecisionStep] = []
-    result = _drive_episode(kernel, lane, env_seed, trace=steps)
-    return _trace_from_fused(
-        lane, result, steps, episode, env_seed, actor, base_version,
-        want_post,
-    )
+    n = len(chunk)
+    if bstate is None or bstate.batch < n:
+        bstate = BatchEpisodeState(kernel, n)
+    bstate.reset()
+    out: List[EpisodeTrace] = []
+    for i, episode in enumerate(chunk):
+        steps = TraceBuilder()
+        result = _drive_episode(
+            kernel, lane, env_seeds[i], trace=steps,
+            lite=episode != last_episode,
+        )
+        bstate.snapshot(i, result.makespan, lane.steps)
+        lite = not isinstance(result, SimulationResult)
+        out.append(
+            EpisodeTrace(
+                episode=episode,
+                seed=env_seeds[i],
+                actor=actor,
+                base_version=base_version,
+                steps=steps,
+                makespan=float(bstate.makespan[i]),
+                final_state=result.final_state,
+                records=None if lite else list(result.records),
+                assignment=result.assignment if lite else None,
+                steps_count=int(bstate.steps[i]),
+                reward_sum=lane.reward_sum,
+                final_reward=lane.reward,
+                post_state=None,
+            )
+        )
+    if want_post:
+        # want_post chunks travel back through the pool: ship the
+        # post-chunk table as a delta over the wave base the learner
+        # still holds (the chunk never bumps the version, so every row
+        # it touched is stamped with the base era)
+        out[-1].post_state = _fused_checkpoint(lane, since=base_version)
+    return out
 
 
-def _run_generic_actor(
+def _run_generic_chunk(
     kernel: EpisodeKernel,
     sched: ReassignScheduler,
-    episode: int,
-    env_seed: int,
+    chunk: Sequence[int],
+    env_seeds: Sequence[int],
     actor: int,
     want_post: bool,
-) -> EpisodeTrace:
-    """One speculative episode driving a private scheduler copy."""
+) -> List[EpisodeTrace]:
+    """One speculative chunk driving a private scheduler copy, chained."""
     base_version = sched.qtable.version
-    proxy = TracingScheduler(sched)
-    result = kernel.run_episode(proxy, env_seed)
-    return EpisodeTrace(
-        episode=episode,
-        seed=env_seed,
-        actor=actor,
-        base_version=base_version,
-        steps=proxy.steps,
-        makespan=result.makespan,
-        final_state=result.final_state,
-        records=list(result.records),
-        steps_count=sched.episode_steps,
-        reward_sum=sched._reward_sum,
-        final_reward=sched.episode_final_reward,
-        post_state=sched if want_post else None,
-    )
+    out: List[EpisodeTrace] = []
+    for i, episode in enumerate(chunk):
+        proxy = TracingScheduler(sched)
+        result = kernel.run_episode(proxy, env_seeds[i])
+        out.append(
+            EpisodeTrace(
+                episode=episode,
+                seed=env_seeds[i],
+                actor=actor,
+                base_version=base_version,
+                steps=proxy.steps,
+                makespan=result.makespan,
+                final_state=result.final_state,
+                records=list(result.records),
+                steps_count=sched.episode_steps,
+                reward_sum=sched._reward_sum,
+                final_reward=sched.episode_final_reward,
+                post_state=None,
+            )
+        )
+    if want_post:
+        out[-1].post_state = sched
+    return out
 
 
-def _actor_task(payload: Tuple[Any, ...], seed: int) -> EpisodeTrace:
-    """Worker-side rollout task (one episode; kernel reused per worker).
+#: Worker-process scratch caches (persistent pool workers only): the
+#: fused lane keyed by (root seed, params) and the batch view keyed by
+#: (kernel identity, width).  Both are fully re-initialized per chunk
+#: (restore / reset), so reuse can never leak state between chunks; the
+#: view entry pins its kernel, so the id key cannot be recycled.
+_WORKER_LANES: Dict[Tuple[int, ReassignParams], _FastLane] = {}
+_WORKER_VIEWS: Dict[Tuple[int, int], BatchEpisodeState] = {}
+#: Pristine version-0 Q-table snapshot per lane key — the local base
+#: that cumulative delta checkpoints (snapshot(since=0)) patch onto.
+#: Purely a function of (seed, params), so it never goes stale.
+_WORKER_BASE0: Dict[Tuple[int, ReassignParams], Any] = {}
+
+
+def _actor_task(payload: Tuple[Any, ...], seed: int) -> List[EpisodeTrace]:
+    """Worker-side rollout task (one chunk; kernel reused per worker).
 
     The payload ships the full spec so the worker can rebuild (or pull
     from its shared cache, via the task's declared kernel fingerprint)
     the episode kernel, plus the wave-base learner state.  ``seed`` is
-    the runner's derived per-task seed; the episode's env seed travels
-    in the payload because it must match the serial learner's
+    the runner's derived per-task seed; the episodes' env seeds travel
+    in the payload because they must match the serial learner's
     ``spawn_seed(f"episode:{i}")`` exactly.
     """
-    (spec, fused, base, episode, env_seed, actor, want_post) = payload
+    (spec, fused, base, chunk, chunk_seeds, actor, want_post,
+     last_episode) = payload
     learner = ReassignLearner(
         spec.workflow,
         spec.vms,
@@ -321,29 +379,74 @@ def _actor_task(payload: Tuple[Any, ...], seed: int) -> EpisodeTrace:
     )
     kernel = learner.kernel
     if fused:
-        return _run_fused_actor(
-            kernel, learner.params, spec.seed, base, episode, env_seed,
-            actor, want_post,
+        lkey = (spec.seed, learner.params)
+        lane = _WORKER_LANES.get(lkey)
+        if lane is None:
+            lane = _FastLane(learner.params, spec.seed)
+            _WORKER_LANES[lkey] = lane
+            _WORKER_BASE0[lkey] = lane.qtable.snapshot()
+        if base[0].base_version is not None:
+            # cumulative delta: re-seat the pristine version-0 table,
+            # then _fused_restore patches the touched rows in place
+            lane.qtable.restore(_WORKER_BASE0[lkey])
+        vkey = (id(kernel), len(chunk))
+        bstate = _WORKER_VIEWS.get(vkey)
+        if bstate is None or bstate.kernel is not kernel:
+            bstate = BatchEpisodeState(kernel, len(chunk))
+            _WORKER_VIEWS[vkey] = bstate
+        return _run_fused_chunk(
+            kernel, learner.params, spec.seed, base, chunk, chunk_seeds,
+            actor, want_post, last_episode, lane=lane, bstate=bstate,
         )
     # base is this process's private unpickled scheduler copy
-    return _run_generic_actor(
-        kernel, base, episode, env_seed, actor, want_post,
+    return _run_generic_chunk(
+        kernel, base, chunk, chunk_seeds, actor, want_post,
     )
 
 
 # -- learner-side ordered replay ----------------------------------------------
 
 
+def _precompute_rewards(lane: _FastLane, trace: EpisodeTrace) -> List[float]:
+    """Every §III-B reward of a trace, ahead of the validation scan.
+
+    Op-for-op ``_reward_step`` over the trace's columnar arrays —
+    rewards depend only on the traced ``(vm, te, tf)`` sequence, never
+    on the Q-table or a draw, so hoisting them out of the replay loop
+    is unobservable: a fully validated trace applies them all, and a
+    divergent one rolls the lane (reward state included) back to its
+    checkpoint.
+    """
+    act_v = trace.act_v
+    te_col = trace.te
+    tf_col = trace.tf
+    out: List[float] = []
+    for i in range(int(act_v.shape[0])):  # reprolint: disable=RL015  (running means are order-sensitive)
+        r_t = _reward_step(
+            lane, int(act_v[i]), float(te_col[i]), float(tf_col[i])
+        )
+        lane.reward_sum += r_t
+        out.append(r_t)
+    return out
+
+
 def _replay_fused(
     lane: _FastLane, trace: EpisodeTrace, params: ReassignParams
 ) -> Tuple[bool, int]:
-    """Validate a stale trace against the true lane, step by step.
+    """Validate a stale trace against the true lane.
 
     Performs every true draw in trace order (ε-coin, tie-breaks,
     lazy-init) and applies each validated update through the
     replay-apply kernels.  Returns ``(ok, divergence_step)`` — on the
     first step whose true selection differs from the traced action the
     lane is left mid-episode and the caller rolls back and re-simulates.
+
+    When the Q-row is fully initialized (the steady state after the
+    first few episodes) the whole trace goes through the columnar
+    batched pass — rewards precomputed, pool resolved once, one
+    Q-row gather (:meth:`ReplayKernel.validate_trace`).  A cold table
+    falls back to the step-wise kernels, whose lazy first-touch draws
+    the batched pass cannot reorder.
     """
     lane.start_episode()
     rk = ReplayKernel(lane.qtable, lane.exploit_p, params.alpha)
@@ -351,7 +454,22 @@ def _replay_fused(
     rng_integers = lane.rng.integers
     gamma = params.gamma
     discount_power = params.discount_power
-    for i, step in enumerate(trace.steps):
+    entries = rk.begin_trace(trace)
+    if entries is not None:
+        n = trace.n_steps
+        rewards = _precompute_rewards(lane, trace)
+        if discount_power:
+            gammas = [gamma ** t for t in range(1, n + 1)]
+        else:
+            gammas = [gamma] * n
+        ok, div = rk.validate_trace(
+            trace, entries, rewards, gammas, rng_random, rng_integers
+        )
+        if ok:
+            lane.t += n
+            lane.steps += n
+        return ok, div
+    for i, step in enumerate(trace.steps):  # reprolint: disable=RL015  (fallback: draws are sequential)
         action, sel_aid = rk.choose(step.pairs, rng_random, rng_integers)
         if action != step.action:
             return False, i
@@ -370,7 +488,7 @@ def _replay_generic(
 ) -> Tuple[bool, int]:
     """Validate a stale trace by driving the true scheduler's own hooks."""
     sched.on_simulation_start(ReplayContext((), workflow))
-    for i, step in enumerate(trace.steps):
+    for i, step in enumerate(trace.steps):  # reprolint: disable=RL015  (drives the true scheduler's own hooks)
         ctx = ReplayContext(step.pairs, workflow, step.n_finished)
         got = sched.select(ctx)
         if got != step.action:
@@ -385,8 +503,22 @@ def _replay_generic(
 
 def _result_from_trace(
     kernel: EpisodeKernel, trace: EpisodeTrace
-) -> SimulationResult:
-    """Reconstruct the episode's simulation outcome from its trace."""
+) -> EpisodeOutcome:
+    """Reconstruct the episode's simulation outcome from its trace.
+
+    Lite traces (no records — every episode except the run's final one)
+    reconstruct to a :class:`~repro.core.lane._LiteResult`; everything a
+    committed episode reads off it (makespan, final state, assignment)
+    is byte-identical to the full result's.
+    """
+    # lite marker: the trace carries the completion-ordered assignment
+    # instead of records (EpisodeTrace normalizes records=None to [])
+    if trace.assignment is not None:
+        return _LiteResult(
+            makespan=trace.makespan,
+            final_state=trace.final_state,
+            assignment=trace.assignment,
+        )
     return SimulationResult(
         workflow_name=kernel.workflow.name,
         records=list(trace.records),
@@ -412,6 +544,7 @@ def learn_distributed(
     max_attempts: int = 1,
     single_slot_learning: bool = False,
     n_actors: int = 1,
+    batch: int = 1,
     mode: str = "auto",
     timing: str = "wall",
     validate_exact: bool = False,
@@ -425,6 +558,13 @@ def learn_distributed(
     n_actors:
         Rollout actor count (≥ 1).  Any value yields byte-identical
         results; it only changes how episodes are produced.
+    batch:
+        Episodes per actor wave chunk (≥ 1).  Each actor speculates
+        ``batch`` *consecutive* episodes chained from one snapshot
+        (the fused lockstep lanes of :mod:`repro.core.batch` driven
+        end to end), so checkpoint shipping, worker dispatch and lane
+        setup amortize across the chunk.  Like ``n_actors``, any value
+        yields byte-identical results.
     mode:
         ``"pool"`` (persistent worker processes), ``"inline"``
         (in-process actors, no IPC), or ``"auto"`` (pool only when
@@ -445,6 +585,8 @@ def learn_distributed(
     """
     if n_actors < 1:
         raise ValidationError(f"n_actors must be >= 1, got {n_actors}")
+    if batch < 1:
+        raise ValidationError(f"batch must be >= 1, got {batch}")
     if mode not in _MODES:
         allowed = ", ".join(repr(m) for m in _MODES)
         raise ValidationError(f"mode must be one of {allowed}, got {mode!r}")
@@ -560,9 +702,16 @@ def learn_distributed(
             # engine's floor cost
             for e in range(episodes):
                 waves += 1
+                result: EpisodeOutcome
                 if fused:
                     assert chain_lane is not None
-                    result = _drive_episode(kernel, chain_lane, env_seeds[e])
+                    # all but the final episode run "lite": no
+                    # ActivationRecord construction — the plan only ever
+                    # reads the last full result
+                    result = _drive_episode(
+                        kernel, chain_lane, env_seeds[e],
+                        lite=e + 1 < episodes,
+                    )
                     ep_steps = chain_lane.steps
                     ep_reward_sum = chain_lane.reward_sum
                     ep_final_reward = chain_lane.reward
@@ -575,7 +724,8 @@ def learn_distributed(
                 bump_version()
                 if simulated:
                     elapsed += result.makespan
-                last_result = result
+                if isinstance(result, SimulationResult):
+                    last_result = result
                 records.append(
                     EpisodeRecord(
                         episode=e,
@@ -590,186 +740,252 @@ def learn_distributed(
                     )
                 )
             committed = episodes
+        last_episode = episodes - 1
+        scratch_lane: Optional[_FastLane] = None
+        scratch_view: Optional[BatchEpisodeState] = None
+
+        def commit(
+            e: int,
+            result: EpisodeOutcome,
+            ep_steps: int,
+            ep_reward_sum: float,
+            ep_final_reward: float,
+        ) -> None:
+            nonlocal elapsed, last_result
+            bump_version()
+            if simulated:
+                elapsed += result.makespan
+            if isinstance(result, SimulationResult):
+                last_result = result
+            records.append(
+                EpisodeRecord(
+                    episode=e,
+                    makespan=result.makespan,
+                    final_state=result.final_state,
+                    steps=ep_steps,
+                    mean_reward=(
+                        ep_reward_sum / ep_steps if ep_steps else 0.0
+                    ),
+                    final_reward=ep_final_reward,
+                    assignment=result.assignment,
+                )
+            )
+
         while committed < episodes:
             waves += 1
-            k = min(width, episodes - committed)
-            wave_episodes = list(range(committed, committed + k))
+            # one wave = up to `width` chunks of up to `batch`
+            # consecutive episodes; chunk j speculates at chunk
+            # staleness j (its episodes chain on the actor's own
+            # evolution, so within-chunk episodes add no staleness)
+            n_chunks = min(
+                width, -(-(episodes - committed) // batch)
+            )
+            chunks: List[List[int]] = []
+            start = committed
+            for _ in range(n_chunks):
+                stop = min(start + batch, episodes)
+                chunks.append(list(range(start, stop)))
+                start = stop
             head_on_chain = (
                 not pool and not validate_exact
-            )  # wave head drives the true state directly when inline
+            )  # head chunk drives the true state directly when inline
 
-            # wave base: needed for every shipped episode (pool) and for
+            # wave base: needed for every shipped chunk (pool) and for
             # inline speculative actors / validate_exact heads
-            need_base = pool or k > 1 or validate_exact
+            need_base = pool or n_chunks > 1 or validate_exact
             base: Any = None
             if need_base:
                 if fused:
                     assert chain_lane is not None
-                    base = _fused_checkpoint(chain_lane)
+                    # pool bases travel as cumulative deltas over the
+                    # pristine version-0 table every worker can rebuild
+                    # locally: the payload serializes only the touched
+                    # Q-rows instead of the whole store
+                    base = _fused_checkpoint(
+                        chain_lane, since=0 if pool else None
+                    )
                 else:
                     base = copy.deepcopy(chain_sched)
 
             # -- rollout ------------------------------------------------
-            traces: List[Optional[EpisodeTrace]] = [None] * k
+            traces: List[Optional[List[EpisodeTrace]]] = [None] * n_chunks
             if pool:
                 assert runner is not None
                 tasks = []
-                for j, e in enumerate(wave_episodes):
-                    actor = int(interleave[e % n_actors])
+                for j, chunk in enumerate(chunks):
+                    actor = int(interleave[(chunk[0] // batch) % n_actors])
                     want_post = j == 0 and not validate_exact
                     tasks.append(
                         Task(
-                            key=("episode", e),
+                            key=("chunk", chunk[0]),
                             fn=_actor_task,
                             payload=(
-                                spec, fused, base, e, env_seeds[e],
-                                actor, want_post,
+                                spec, fused, base, chunk,
+                                [env_seeds[e] for e in chunk],
+                                actor, want_post, last_episode,
                             ),
-                            seed=derive_seed(spec.seed, f"actor-episode:{e}"),
+                            seed=derive_seed(
+                                spec.seed, f"actor-episode:{chunk[0]}"
+                            ),
                             kernel_fingerprint=fp,
                         )
                     )
                 for res in runner.run(tasks):
                     traces[res.index] = res.value
             else:
-                for j, e in enumerate(wave_episodes):
-                    actor = int(interleave[e % n_actors])
+                for j, chunk in enumerate(chunks):
+                    actor = int(interleave[(chunk[0] // batch) % n_actors])
                     if j == 0 and head_on_chain:
                         continue  # driven on the true chain below
                     if fused:
-                        traces[j] = _run_fused_actor(
-                            kernel, params, spec.seed, base, e,
-                            env_seeds[e], actor, want_post=False,
+                        if scratch_lane is None:
+                            scratch_lane = _FastLane(params, spec.seed)
+                        if (
+                            scratch_view is None
+                            or scratch_view.batch < len(chunk)
+                        ):
+                            scratch_view = BatchEpisodeState(
+                                kernel, len(chunk)
+                            )
+                        traces[j] = _run_fused_chunk(
+                            kernel, params, spec.seed, base, chunk,
+                            [env_seeds[e] for e in chunk], actor,
+                            want_post=False, last_episode=last_episode,
+                            lane=scratch_lane, bstate=scratch_view,
                         )
                     else:
-                        traces[j] = _run_generic_actor(
-                            kernel, copy.deepcopy(base), e, env_seeds[e],
-                            actor, want_post=False,
+                        traces[j] = _run_generic_chunk(
+                            kernel, copy.deepcopy(base), chunk,
+                            [env_seeds[e] for e in chunk], actor,
+                            want_post=False,
                         )
 
             # -- ordered consume ---------------------------------------
             wave_hits0 = spec_hits
             wave_misses0 = spec_misses
-            for j, e in enumerate(wave_episodes):
-                result: SimulationResult
+            for j, chunk in enumerate(chunks):
                 if j == 0 and not pool and head_on_chain:
-                    # inline wave head: the actor *is* the learner
-                    # chain, and its trace would never be replayed — so
-                    # none is recorded
+                    # inline head chunk: the actor *is* the learner
+                    # chain, and its traces would never be replayed — so
+                    # none are recorded
+                    for e in chunk:
+                        result: EpisodeOutcome
+                        if fused:
+                            assert chain_lane is not None
+                            result = _drive_episode(
+                                kernel, chain_lane, env_seeds[e],
+                                lite=e != last_episode,
+                            )
+                            ep_stats = (
+                                chain_lane.steps,
+                                chain_lane.reward_sum,
+                                chain_lane.reward,
+                            )
+                        else:
+                            result = kernel.run_episode(
+                                chain_sched, env_seeds[e]
+                            )
+                            ep_stats = (
+                                chain_sched.episode_steps,
+                                chain_sched._reward_sum,
+                                chain_sched.episode_final_reward,
+                            )
+                        exact_commits += 1
+                        commit(e, result, *ep_stats)
+                    continue
+                chunk_traces = traces[j]
+                assert chunk_traces is not None
+                exact_chunk = (
+                    chunk_traces[0].base_version == current_version()
+                    and chunk_traces[-1].post_state is not None
+                    and not validate_exact
+                )
+                if exact_chunk:
+                    # provably the truth: deterministic engine chained
+                    # from byte-identical state — adopt the actor's
+                    # post-chunk state wholesale, commit every episode
                     if fused:
                         assert chain_lane is not None
-                        result = _drive_episode(
-                            kernel, chain_lane, env_seeds[e]
+                        _fused_restore(
+                            chain_lane, chunk_traces[-1].post_state
                         )
-                        ep_steps = chain_lane.steps
-                        ep_reward_sum = chain_lane.reward_sum
-                        ep_final_reward = chain_lane.reward
                     else:
-                        result = kernel.run_episode(
-                            chain_sched, env_seeds[e]
-                        )
-                        ep_steps = chain_sched.episode_steps
-                        ep_reward_sum = chain_sched._reward_sum
-                        ep_final_reward = chain_sched.episode_final_reward
-                    exact_commits += 1
-                else:
-                    trace = traces[j]
-                    assert trace is not None
-                    exact = (
-                        trace.base_version == current_version()
-                        and trace.post_state is not None
-                        and not validate_exact
-                    )
-                    if exact:
-                        # provably the truth: deterministic engine from
-                        # byte-identical state — adopt the actor's
-                        # post-episode state wholesale
-                        if fused:
-                            assert chain_lane is not None
-                            _fused_restore(chain_lane, trace.post_state)
-                        else:
-                            chain_sched = trace.post_state
-                            learner.scheduler = chain_sched
-                        result = _result_from_trace(kernel, trace)
-                        ep_steps = trace.steps_count
-                        ep_reward_sum = trace.reward_sum
-                        ep_final_reward = trace.final_reward
+                        chain_sched = chunk_traces[-1].post_state
+                        learner.scheduler = chain_sched
+                    for trace in chunk_traces:
                         exact_commits += 1
+                        commit(
+                            trace.episode,
+                            _result_from_trace(kernel, trace),
+                            trace.steps_count,
+                            trace.reward_sum,
+                            trace.final_reward,
+                        )
+                    continue
+                for trace in chunk_traces:
+                    e = trace.episode
+                    speculative = trace.base_version != current_version()
+                    if fused:
+                        assert chain_lane is not None
+                        ckpt = _fused_checkpoint(chain_lane)
+                        ok, _div = _replay_fused(
+                            chain_lane, trace, params
+                        )
                     else:
-                        speculative = trace.base_version != current_version()
+                        ckpt = copy.deepcopy(chain_sched)
+                        ok, _div = _replay_generic(
+                            chain_sched, trace, workflow
+                        )
+                    if ok:
+                        result = _result_from_trace(kernel, trace)
                         if fused:
                             assert chain_lane is not None
-                            ckpt = _fused_checkpoint(chain_lane)
-                            ok, _div = _replay_fused(
-                                chain_lane, trace, params
+                            ep_stats = (
+                                chain_lane.steps,
+                                chain_lane.reward_sum,
+                                chain_lane.reward,
                             )
                         else:
-                            ckpt = copy.deepcopy(chain_sched)
-                            ok, _div = _replay_generic(
-                                chain_sched, trace, workflow
+                            ep_stats = (
+                                chain_sched.episode_steps,
+                                chain_sched._reward_sum,
+                                chain_sched.episode_final_reward,
                             )
-                        if ok:
-                            result = _result_from_trace(kernel, trace)
-                            if fused:
-                                assert chain_lane is not None
-                                ep_steps = chain_lane.steps
-                                ep_reward_sum = chain_lane.reward_sum
-                                ep_final_reward = chain_lane.reward
-                            else:
-                                ep_steps = chain_sched.episode_steps
-                                ep_reward_sum = chain_sched._reward_sum
-                                ep_final_reward = (
-                                    chain_sched.episode_final_reward
-                                )
-                            if speculative:
-                                spec_hits += 1
-                            else:
-                                exact_commits += 1
+                        if speculative:
+                            spec_hits += 1
                         else:
-                            # deterministic in-learner re-simulation of
-                            # the episode (the divergent suffix made the
-                            # whole speculative episode moot)
-                            resims += 1
-                            if speculative:
-                                spec_misses += 1
-                            if fused:
-                                assert chain_lane is not None
-                                _fused_restore(chain_lane, ckpt)
-                                result = _drive_episode(
-                                    kernel, chain_lane, env_seeds[e]
-                                )
-                                ep_steps = chain_lane.steps
-                                ep_reward_sum = chain_lane.reward_sum
-                                ep_final_reward = chain_lane.reward
-                            else:
-                                chain_sched = ckpt
-                                learner.scheduler = chain_sched
-                                result = kernel.run_episode(
-                                    chain_sched, env_seeds[e]
-                                )
-                                ep_steps = chain_sched.episode_steps
-                                ep_reward_sum = chain_sched._reward_sum
-                                ep_final_reward = (
-                                    chain_sched.episode_final_reward
-                                )
-                bump_version()
-                if simulated:
-                    elapsed += result.makespan
-                last_result = result
-                records.append(
-                    EpisodeRecord(
-                        episode=e,
-                        makespan=result.makespan,
-                        final_state=result.final_state,
-                        steps=ep_steps,
-                        mean_reward=(
-                            ep_reward_sum / ep_steps if ep_steps else 0.0
-                        ),
-                        final_reward=ep_final_reward,
-                        assignment=result.assignment,
-                    )
-                )
-            committed += k
+                            exact_commits += 1
+                    else:
+                        # deterministic in-learner re-simulation of the
+                        # episode (the divergent suffix made the whole
+                        # speculative episode moot)
+                        resims += 1
+                        if speculative:
+                            spec_misses += 1
+                        if fused:
+                            assert chain_lane is not None
+                            _fused_restore(chain_lane, ckpt)
+                            result = _drive_episode(
+                                kernel, chain_lane, env_seeds[e]
+                            )
+                            ep_stats = (
+                                chain_lane.steps,
+                                chain_lane.reward_sum,
+                                chain_lane.reward,
+                            )
+                        else:
+                            chain_sched = ckpt
+                            learner.scheduler = chain_sched
+                            result = kernel.run_episode(
+                                chain_sched, env_seeds[e]
+                            )
+                            ep_stats = (
+                                chain_sched.episode_steps,
+                                chain_sched._reward_sum,
+                                chain_sched.episode_final_reward,
+                            )
+                    commit(e, result, *ep_stats)
+            committed = chunks[-1][-1] + 1
 
             # -- deterministic AIMD speculation throttle ---------------
             # halve on an all-miss wave, double on an all-hit one, keep
@@ -815,6 +1031,7 @@ def learn_distributed(
         speculative_total = spec_hits + spec_misses
         stats_out.update(
             n_actors=n_actors,
+            batch=batch,
             mode=effective_mode,
             episodes=episodes,
             waves=waves,

@@ -120,20 +120,24 @@ def run_sweep_cell(payload: CellPayload, seed: int) -> SweepRecord:
 
 
 def run_sweep_cell_distributed(
-    payload: Tuple[Workflow, List[Vm], ReassignParams, str, int], seed: int
+    payload: Tuple[Workflow, List[Vm], ReassignParams, str, int, int],
+    seed: int,
 ) -> SweepRecord:
     """Execute one sweep cell through the distributed actor/learner engine.
 
-    ``payload`` is ``(workflow, vms, params, timing, actors)``.  The
-    engine is bit-identical to the serial learner at any actor count
-    (see :func:`repro.core.distributed.learn_distributed`), so records
-    match :func:`run_sweep_cell` byte for byte.
+    ``payload`` is ``(workflow, vms, params, timing, actors, batch)``;
+    ``batch`` is the number of chained episodes each actor rolls out per
+    wave chunk.  The engine is bit-identical to the serial learner at
+    any ``(actors, batch)`` combination (see
+    :func:`repro.core.distributed.learn_distributed`), so records match
+    :func:`run_sweep_cell` byte for byte.
     """
     from repro.core.distributed import learn_distributed
 
-    workflow, vms, params, timing, actors = payload
+    workflow, vms, params, timing, actors, batch = payload
     result = learn_distributed(
-        workflow, vms, params, seed=seed, n_actors=actors, timing=timing
+        workflow, vms, params, seed=seed, n_actors=actors, batch=batch,
+        timing=timing,
     )
     learning_time = (
         result.simulated_learning_time
@@ -243,9 +247,12 @@ def sweep_tasks(
     ``actors > 1`` routes every cell through the distributed
     actor/learner engine (:func:`run_sweep_cell_distributed`) instead —
     bit-identical records again, but each cell spends its parallelism
-    *inside* the run; it is mutually exclusive with ``batch > 1`` (the
-    two engines partition the same work differently) and with a custom
-    ``learner_factory``.
+    *inside* the run.  The flags compose: with ``actors > 1``, ``batch``
+    becomes the number of chained episodes each actor rolls out per
+    speculative wave chunk (instead of the lockstep pack size), so
+    ``actors=4, batch=8`` means four actors each speculating eight
+    episodes ahead.  ``actors > 1`` is still mutually exclusive with a
+    custom ``learner_factory``.
     """
     if not alphas or not gammas or not epsilons:
         raise ValidationError("sweep needs non-empty parameter lists")
@@ -255,11 +262,6 @@ def sweep_tasks(
         raise ValidationError(f"batch must be >= 1, got {batch}")
     if actors < 1:
         raise ValidationError(f"actors must be >= 1, got {actors}")
-    if actors > 1 and batch > 1:
-        raise ValidationError(
-            "actors > 1 and batch > 1 are mutually exclusive: pick the "
-            "distributed actor/learner engine or the batched lockstep engine"
-        )
     if actors > 1 and learner_factory is not None:
         raise ValidationError(
             "actors > 1 requires the default learner (no learner_factory)"
@@ -288,7 +290,7 @@ def sweep_tasks(
                 payloads.append(
                     (workflow, vms, params, learner_factory, timing)
                 )
-    if batch > 1 and learner_factory is None:
+    if batch > 1 and actors == 1 and learner_factory is None:
         for i, pack in enumerate(pack_payloads(payloads, batch)):
             tasks.append(
                 Task(
@@ -308,7 +310,7 @@ def sweep_tasks(
                 Task(
                     key=key,
                     fn=run_sweep_cell_distributed,
-                    payload=(workflow, vms, params, timing, actors),
+                    payload=(workflow, vms, params, timing, actors, batch),
                     seed=seed,
                     kernel_fingerprint=fingerprint,
                 )

@@ -125,7 +125,8 @@ def run_paper_sweep(
     ``actors`` (default 1) instead spends the parallelism *inside* each
     cell through the distributed actor/learner engine
     (:func:`repro.core.distributed.learn_distributed`); still
-    bit-identical, but mutually exclusive with ``batch > 1`` and meant
+    bit-identical, and it composes with ``batch``: each actor then rolls
+    out ``batch`` chained episodes per speculative wave chunk.  Meant
     for ``workers=1`` (nesting both pools oversubscribes the host).
     """
     wf = workflow if workflow is not None else montage(50, seed=seed)

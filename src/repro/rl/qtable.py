@@ -92,9 +92,18 @@ class QTableSnapshot:
     The payload copies are made at snapshot time and copied again on
     restore, so one snapshot can seed any number of tables (the
     distributed learner ships one per rollout wave) without aliasing.
+
+    Delta snapshots (``QTable.snapshot(since=K)``) carry only the rows
+    touched at or after version ``K`` plus the (small) interning maps;
+    ``base_version`` records ``K`` so :meth:`QTable.restore` can refuse
+    to patch a table that is not exactly at that base.  Full snapshots
+    have ``base_version is None``.
     """
 
-    __slots__ = ("backend", "version", "init_scale", "rng_state", "payload")
+    __slots__ = (
+        "backend", "version", "init_scale", "rng_state", "payload",
+        "base_version",
+    )
 
     def __init__(
         self,
@@ -103,12 +112,14 @@ class QTableSnapshot:
         init_scale: float,
         rng_state: Dict[str, Any],
         payload: Tuple[Any, ...],
+        base_version: Optional[int] = None,
     ) -> None:
         self.backend = backend
         self.version = version
         self.init_scale = init_scale
         self.rng_state = rng_state
         self.payload = payload
+        self.base_version = base_version
 
 
 def _encode_key(key) -> list:
@@ -203,6 +214,14 @@ class QTable:
             self._id_memo: Dict[
                 int, Tuple[Tuple[Action, ...], np.ndarray, List[int], set]
             ] = {}
+            # sid -> version era of the row's last marked write.  The
+            # superset source for delta snapshots: snapshot(since=K)
+            # ships exactly the rows with era >= K.  Every QTable write
+            # path marks; code that writes a row *directly* (the fused
+            # engine, the replay kernels) must call mark_row_dirty —
+            # over-marking is sound (the delta just carries an extra
+            # row whose content already matches), under-marking is not.
+            self._row_era: Dict[int, int] = {}
 
     @property
     def backend(self) -> str:
@@ -338,6 +357,7 @@ class QTable:
                 if self._backend == "shard"
                 else self._q[sid]
             )
+            self._row_era[sid] = self._version
             scale = self._init_scale
             rng = self._rng
             for pos in fresh:
@@ -369,6 +389,7 @@ class QTable:
             qrow[aid] = v
             krow[aid] = True
             self._n_known += 1
+            self._row_era[sid] = self._version
             return v
         if self._known[sid, aid]:
             return float(self._q[sid, aid])
@@ -376,6 +397,7 @@ class QTable:
         self._q[sid, aid] = v
         self._known[sid, aid] = True
         self._n_known += 1
+        self._row_era[sid] = self._version
         return v
 
     def peek(self, state: State, action: Action) -> Optional[float]:
@@ -401,6 +423,7 @@ class QTable:
             return
         sid = self._state_id(state)
         aid = self._action_id(action)
+        self._row_era[sid] = self._version
         if self._backend == "shard":
             krow = self._store.known_row(sid)
             if not krow[aid]:
@@ -420,9 +443,12 @@ class QTable:
             self._values[(state, action)] = new
         elif self._backend == "shard":
             sid = self._state_ids[state]
+            self._row_era[sid] = self._version
             self._store.q_row(sid)[self._action_ids[action]] = new
         else:
-            self._q[self._state_ids[state], self._action_ids[action]] = new
+            sid = self._state_ids[state]
+            self._row_era[sid] = self._version
+            self._q[sid, self._action_ids[action]] = new
         return new
 
     # -- batched reductions ----------------------------------------------------
@@ -560,6 +586,7 @@ class QTable:
             return
         sid = self._state_id(state)
         _, aids, _id_list, _ensured = self._action_slice(actions)
+        self._row_era[sid] = self._version
         if self._backend == "shard":
             qrow = self._store.q_row(sid)
             krow = self._store.known_row(sid)
@@ -685,6 +712,9 @@ class QTable:
                 for sid in range(len(table._states))
             )
         )
+        # loaded rows have unknown write history: mark them all at the
+        # current era so delta snapshots never under-report them
+        table._row_era = {sid: 0 for sid in range(len(table._states))}
         return table
 
     def copy(self) -> "QTable":
@@ -710,6 +740,7 @@ class QTable:
                 out._q = self._q.copy()
                 out._known = self._known.copy()
             out._n_known = self._n_known
+            out._row_era = dict(self._row_era)
         out._version = self._version
         return out
 
@@ -732,8 +763,19 @@ class QTable:
         self._version += 1
         return self._version
 
-    def snapshot(self) -> QTableSnapshot:
-        """Capture the complete table state as a :class:`QTableSnapshot`.
+    def mark_row_dirty(self, sid: int) -> None:
+        """Record that row ``sid`` is (about to be) written directly.
+
+        The fused engine and the replay kernels write Q-rows through
+        raw array references the table never sees; they mark the row
+        here (once per episode is enough — the era only changes when
+        the version does) so delta snapshots stay a superset of the
+        rows that actually changed.
+        """
+        self._row_era[sid] = self._version
+
+    def snapshot(self, since: Optional[int] = None) -> QTableSnapshot:
+        """Capture the table state as a :class:`QTableSnapshot`.
 
         Includes the interning maps, the dense/shard/dict storage, the
         lazy-init mask and — crucially — the ``qtable-init`` stream's
@@ -743,8 +785,53 @@ class QTable:
         stream: it hands out an independent table.  Snapshots exist to
         clone the table's future, which is what speculative rollout
         actors need.)
+
+        ``since=K`` returns a *delta* snapshot instead: only the rows
+        whose write era is ``>= K`` (a superset of the rows that
+        changed after version ``K``), gathered into one dense block —
+        for the shard backend this skips copying the untouched shards
+        entirely.  A holder of the table's exact version-``K`` state
+        reaches the full current state by restoring the delta
+        (:meth:`restore` patches the rows in place).  The dict backend
+        has no row structure and falls back to a full snapshot.
         """
         payload: Tuple[Any, ...]
+        if since is not None and self._backend != "dict":
+            if since < 0 or since > self._version:
+                raise ValidationError(
+                    f"since must be in [0, {self._version}], got {since}"
+                )
+            n_cols = len(self._actions)
+            rows = sorted(
+                sid for sid, era in self._row_era.items() if era >= since
+            )
+            rows_idx = np.asarray(rows, dtype=np.int64)
+            q_block = np.empty((len(rows), n_cols), dtype=np.float64)
+            known_block = np.empty((len(rows), n_cols), dtype=bool)
+            if self._backend == "shard":
+                for i, sid in enumerate(rows):
+                    q_block[i] = self._store.q_row(sid)[:n_cols]
+                    known_block[i] = self._store.known_row(sid)[:n_cols]
+            else:
+                q_block[:] = self._q[rows_idx, :n_cols]
+                known_block[:] = self._known[rows_idx, :n_cols]
+            return QTableSnapshot(
+                backend=self._backend,
+                version=self._version,
+                init_scale=self._init_scale,
+                rng_state=self._rng.bit_generator.state,
+                payload=(
+                    rows_idx,
+                    q_block,
+                    known_block,
+                    dict(self._state_ids),
+                    list(self._states),
+                    dict(self._action_ids),
+                    list(self._actions),
+                    self._n_known,
+                ),
+                base_version=since,
+            )
         if self._backend == "dict":
             payload = (dict(self._values),)
         elif self._backend == "shard":
@@ -782,12 +869,60 @@ class QTable:
         mutation era exactly.  The id-keyed action-slice memo is
         discarded: its ensured-state sets describe the pre-restore
         table and object ids may alias, so keeping it would be unsound.
+
+        A *delta* snapshot (``snapshot(since=K)``) patches in place
+        instead of replacing storage: the table must currently hold the
+        exact version-``K`` state the delta was computed against
+        (enforced via the version counter), then the delta's rows are
+        scattered over it and the maps/stream/version adopted — landing
+        on a state bit-identical to restoring a full snapshot of the
+        same moment.
         """
         if snap.backend != self._backend:
             raise ValidationError(
                 f"cannot restore a {snap.backend!r} snapshot into a "
                 f"{self._backend!r} table"
             )
+        if snap.base_version is not None:
+            if self._version != snap.base_version:
+                raise ValidationError(
+                    f"delta snapshot patches version {snap.base_version}, "
+                    f"but this table is at version {self._version}"
+                )
+            (
+                rows_idx, q_block, known_block,
+                sids, states, aids, actions, n_known,
+            ) = snap.payload
+            self._init_scale = snap.init_scale
+            self._state_ids = dict(sids)
+            self._states = list(states)
+            self._action_ids = dict(aids)
+            self._actions = list(actions)
+            n_rows = len(self._states)
+            n_cols = len(self._actions)
+            if self._backend == "shard":
+                self._store.ensure_rows(n_rows)
+                self._store.ensure_cols(n_cols)
+                for i, sid in enumerate(rows_idx):
+                    self._store.q_row(int(sid))[:n_cols] = q_block[i]
+                    self._store.known_row(int(sid))[:n_cols] = known_block[i]
+            else:
+                if (
+                    n_rows > self._q.shape[0]
+                    or n_cols > self._q.shape[1]
+                ):
+                    self._grow(n_rows, n_cols)
+                if rows_idx.size:
+                    self._q[rows_idx, :n_cols] = q_block
+                    self._known[rows_idx, :n_cols] = known_block
+            self._n_known = n_known
+            self._id_memo = {}
+            era = snap.version
+            for sid in rows_idx:
+                self._row_era[int(sid)] = era
+            self._rng.bit_generator.state = snap.rng_state
+            self._version = snap.version
+            return
         self._init_scale = snap.init_scale
         if self._backend == "dict":
             self._values = dict(snap.payload[0])

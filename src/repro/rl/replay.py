@@ -30,7 +30,15 @@ construction is free compared to one replayed step.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -38,9 +46,17 @@ from repro.rl.environment import AVAILABLE
 from repro.rl.qtable import _SCALAR_REDUCTION_LIMIT, QTable
 from repro.util.validate import ValidationError
 
+if TYPE_CHECKING:
+    from repro.sim.trace import EpisodeTrace
+
 __all__ = ["ReplayKernel"]
 
 Action = Tuple[int, int]
+
+#: Per-pool-entry resolution for the columnar fast path:
+#: ``[id_list, ids_array|None]`` — the numpy gather array is built
+#: lazily, only for entries wide enough to leave the scalar reduction.
+_TraceEntries = List[List[Any]]
 
 
 class ReplayKernel:
@@ -65,6 +81,9 @@ class ReplayKernel:
         self.exploit_p = float(exploit_p)
         self.alpha = float(alpha)
         self.sid = table._state_id(AVAILABLE)
+        # every kernel write lands in this row: mark its era once so
+        # delta snapshots (QTable.snapshot(since=...)) stay a superset
+        table.mark_row_dirty(self.sid)
         # one-entry identity cache over the action-slice memo, primed
         # with the empty tuple exactly as the fused loop primes it
         # (draws nothing, interns nothing)
@@ -182,3 +201,141 @@ class ReplayKernel:
         q_new = q_sa + float(self.alpha * delta)
         qrow[sel_aid] = q_new
         return q_new
+
+    def begin_trace(self, trace: "EpisodeTrace") -> Optional[_TraceEntries]:
+        """Resolve a trace's action-pair pool for :meth:`validate_trace`.
+
+        One pass over the (small) pool of distinct pairs tuples replaces
+        the per-step ``_action_slice`` / ``_ensure_known`` machinery: it
+        maps every pool entry to its interned column ids up front, so the
+        per-step work of the columnar pass is a pure gather/argmax over
+        those ids.
+
+        Returns ``None`` — caller must use the step-wise kernels — when
+        the batched pass cannot be bit-exact:
+
+        - the single ``AVAILABLE`` row is not fully initialized (cold
+          cells draw their init value lazily *in access order*, which a
+          pooled resolution cannot reproduce), or
+        - the trace references an action the table has never interned
+          (first-touch registration order is observable through the
+          serialized table).
+        """
+        table = self.table
+        if (
+            len(table._states) != 1
+            or table._n_known != len(table._actions)
+        ):
+            return None
+        aget = table._action_ids.get
+        entries: _TraceEntries = []
+        for pairs in trace.pool:
+            id_list: List[int] = []
+            for a in pairs:
+                aid = aget(a)
+                if aid is None:
+                    return None
+                id_list.append(aid)
+            entries.append([id_list, None])
+        return entries
+
+    def validate_trace(
+        self,
+        trace: "EpisodeTrace",
+        entries: _TraceEntries,
+        rewards: Sequence[float],
+        gammas: Sequence[float],
+        rng_random: Callable[[], float],
+        rng_integers: Callable[[int], np.integer],
+    ) -> Tuple[bool, int]:
+        """Validate-and-apply a whole trace against the columnar arrays.
+
+        The fused per-step loop's table operations, hoisted: the Q-row is
+        gathered into a Python-float mirror **once**, every pool entry's
+        column ids come precomputed from :meth:`begin_trace`, and each
+        step reduces over those ids directly — same ε-coin, same tie
+        band and tie enumeration order, same draw sequence, same Eq.-3
+        float ops as :meth:`choose`/:meth:`future`/:meth:`apply`, so the
+        table and the policy stream end bit-identical to a step-wise
+        replay.  ``rewards``/``gammas`` are the precomputed per-step
+        §III-B rewards and discount factors (reward math never draws and
+        divergence rolls the learner back wholesale, so computing them
+        ahead of the scan is unobservable).
+
+        Returns ``(ok, divergence_step)`` exactly like the step-wise
+        path: on the first step whose true selection differs from the
+        traced action the scan stops and the caller restores its
+        checkpoint and re-simulates.
+        """
+        table = self.table
+        store = self.store
+        sid = self.sid
+        exploit_p = self.exploit_p
+        alpha = self.alpha
+        qrow = store.q_row(sid) if store is not None else table._q[sid]
+        row_list: List[float] = qrow.tolist()
+        row_get = row_list.__getitem__
+        pool = trace.pool
+        pairs_idx = trace.pairs_idx
+        next_idx = trace.next_idx
+        act_pos = trace.act_pos
+        act_a = trace.act_a
+        act_v = trace.act_v
+        n = int(pairs_idx.shape[0])
+        for i in range(n):  # reprolint: disable=RL015  (draws are sequential)
+            pi = int(pairs_idx[i])
+            ent = entries[pi]
+            id_list = ent[0]
+            if rng_random() < exploit_p:
+                if len(id_list) < _SCALAR_REDUCTION_LIMIT:
+                    values_list = list(map(row_get, id_list))
+                    cut = max(values_list) - 1e-15
+                    tie_list = [
+                        j for j, v in enumerate(values_list) if v >= cut
+                    ]
+                    if len(tie_list) == 1:
+                        j = tie_list[0]
+                    else:
+                        j = tie_list[int(rng_integers(len(tie_list)))]
+                else:
+                    ids = ent[1]
+                    if ids is None:
+                        ids = ent[1] = np.array(id_list, dtype=np.intp)
+                    values = qrow.take(ids)
+                    j = int(values.argmax())
+                    band = values >= values[j] - 1e-15
+                    cnt = int(band.sum())
+                    if cnt > 1:
+                        ties = np.flatnonzero(band)
+                        j = int(ties[int(rng_integers(cnt))])
+            else:
+                j = int(rng_integers(len(id_list)))
+            pos = int(act_pos[i])
+            if pos >= 0:
+                if j != pos:  # pairs are distinct: position ⇔ action
+                    return False, i
+            elif pool[pi][j] != (int(act_a[i]), int(act_v[i])):
+                return False, i
+            ni = int(next_idx[i])
+            nid_list = entries[ni][0]
+            if not nid_list:
+                future = 0.0
+            elif len(nid_list) < _SCALAR_REDUCTION_LIMIT:
+                # max over the same floats in the same compare order as
+                # the explicit scan in future() — identical result
+                future = max(map(row_get, nid_list))
+            else:
+                nids = entries[ni][1]
+                if nids is None:
+                    nids = entries[ni][1] = np.array(
+                        nid_list, dtype=np.intp
+                    )
+                future = float(qrow.take(nids).max())
+            # full row ⇒ every cell known ⇒ no lazy-init draw in apply
+            sel_aid = id_list[j]
+            q_sa = row_get(sel_aid)
+            delta = rewards[i] + gammas[i] * future - q_sa
+            q_new = q_sa + alpha * delta
+            qrow[sel_aid] = q_new
+            row_list[sel_aid] = q_new
+        return True, n

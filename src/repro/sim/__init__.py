@@ -52,6 +52,7 @@ from repro.sim.trace import (
     EpisodeTrace,
     ReplayContext,
     ReplayPending,
+    TraceBuilder,
     TracingScheduler,
     gantt_text,
 )
@@ -104,6 +105,7 @@ __all__ = [
     "EpisodeTrace",
     "ReplayContext",
     "ReplayPending",
+    "TraceBuilder",
     "TracingScheduler",
     "gantt_text",
     "validate_result",

@@ -1082,6 +1082,23 @@ class BatchEpisodeState:
         #: this is non-decreasing across one lockstep round)
         self.pairs = np.zeros(batch, dtype=np.int64)
 
+    def reset(self) -> None:
+        """Zero every per-lane summary in place: O(batch), no reallocs.
+
+        Makes the view reusable across waves (the distributed pipeline
+        runs one chunk of chained episodes per wave through a single
+        persistent view) the same way PR 3's ``EpisodeState.reset``
+        made the scalar state reusable across episodes — the arrays
+        keep their identity, so holders of the view never go stale.
+        """
+        self.episodes.fill(0)
+        self.steps.fill(0)
+        self.makespan.fill(0.0)
+        self.now.fill(0.0)
+        self.ready.fill(0)
+        self.idle.fill(0)
+        self.pairs.fill(0)
+
     def snapshot(self, lane: int, makespan: float, steps: int) -> None:
         """Record lane ``lane``'s just-finished episode off the kernel.
 

@@ -4,14 +4,18 @@ Two kinds of trace live here:
 
 - **Decision traces** — the per-step record stream the distributed
   learner's rollout actors emit (`docs/performance.md`, "Distributed
-  learning").  :class:`DecisionStep` captures one scheduling decision
-  (the interned action space, the chosen action, the ε-draw outcome,
-  the observed ``(te, tf)`` the reward saw, the post-dispatch action
-  space and the progress counter that determines the bucketed state
-  label); :class:`EpisodeTrace` bundles an episode's steps with its
-  simulation outcome.  :class:`TracingScheduler` records them around
-  any :class:`~repro.schedulers.base.OnlineScheduler` without
-  perturbing a single RNG draw, and :class:`ReplayContext` /
+  learning").  :class:`EpisodeTrace` stores an episode's decisions
+  **columnar**: the distinct interned action spaces go into a small
+  pool, and every per-step quantity (pool indexes, chosen action,
+  ε-draw outcome, observed ``(te, tf)``, reward, Q-write, table
+  version) is one parallel numpy array — so shipping a trace through
+  the process pool serializes a handful of buffers instead of
+  thousands of per-step objects.  :class:`TraceBuilder` is the
+  appender the fused rollout loop feeds one decision at a time;
+  :class:`DecisionStep` remains as the per-step *view* the generic
+  replay path and tests consume.  :class:`TracingScheduler` records
+  steps around any :class:`~repro.schedulers.base.OnlineScheduler`
+  without perturbing a single RNG draw, and :class:`ReplayContext` /
   :class:`ReplayPending` are the duck-typed stand-ins the ordered
   replay learner feeds back into a real scheduler's hooks.
 
@@ -23,8 +27,11 @@ Two kinds of trace live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.sim.metrics import ActivationRecord, SimulationResult
 
@@ -33,6 +40,7 @@ __all__ = [
     "EpisodeTrace",
     "ReplayContext",
     "ReplayPending",
+    "TraceBuilder",
     "TracingScheduler",
     "gantt_text",
 ]
@@ -43,7 +51,7 @@ Action = Tuple[int, int]
 
 @dataclass
 class DecisionStep:
-    """One traced scheduling decision (compact, picklable).
+    """One traced scheduling decision (a per-step *view*).
 
     ``pairs``/``next_pairs`` are the interned ready × idle action
     tuples at selection time and after the dispatch; ``n_finished`` is
@@ -55,6 +63,10 @@ class DecisionStep:
     informational on stale bases, authoritative only when the base
     snapshot version matches the true table.  ``table_version`` stamps
     the Q-table version the actor consulted.
+
+    Traces no longer *store* these objects — :class:`EpisodeTrace`
+    keeps parallel columns and materializes ``DecisionStep`` views on
+    demand for the generic replay path and for tests.
     """
 
     __slots__ = (
@@ -74,30 +86,211 @@ class DecisionStep:
     table_version: int
 
 
-@dataclass
-class EpisodeTrace:
-    """One rollout actor's episode: decisions plus simulation outcome.
+class TraceBuilder:
+    """Columnar appender for one episode's decision stream.
 
-    ``base_version`` is the Q-table version of the snapshot the actor
-    started from; the learner compares it against the true table's
-    version at consume time to decide between direct application and
-    validated replay.  ``post_state`` optionally carries the actor's
-    complete post-episode learner state (shipped only for the wave-head
-    episode, whose base is guaranteed exact).
+    The fused rollout loop calls :meth:`append` once per decision; the
+    distinct (interned, identity-stable) action-pair tuples are pooled
+    by object id and every per-step quantity lands in a plain Python
+    list, converted to one numpy array per column when the finished
+    builder is handed to :class:`EpisodeTrace`.  ``act_pos`` is the
+    chosen action's position inside its ``pairs`` tuple (``-1`` when
+    unknown, e.g. steps recorded by :class:`TracingScheduler`); the
+    vectorized replay validator uses it to gather traced selections
+    without rebuilding per-step tuples.
     """
 
-    episode: int
-    seed: int
-    actor: int
-    base_version: int
-    steps: List[DecisionStep]
-    makespan: float
-    final_state: str
-    records: List[ActivationRecord] = field(default_factory=list)
-    steps_count: int = 0
-    reward_sum: float = 0.0
-    final_reward: float = 0.0
-    post_state: Optional[Any] = None
+    __slots__ = (
+        "pool", "_pool_memo", "pairs_idx", "next_idx", "act_pos",
+        "act_a", "act_v", "explored", "te", "tf", "n_finished",
+        "reward", "q_value", "table_version",
+    )
+
+    def __init__(self) -> None:
+        self.pool: List[Tuple[Action, ...]] = []
+        self._pool_memo: Dict[int, int] = {}
+        self.pairs_idx: List[int] = []
+        self.next_idx: List[int] = []
+        self.act_pos: List[int] = []
+        self.act_a: List[int] = []
+        self.act_v: List[int] = []
+        self.explored: List[int] = []
+        self.te: List[float] = []
+        self.tf: List[float] = []
+        self.n_finished: List[int] = []
+        self.reward: List[float] = []
+        self.q_value: List[float] = []
+        self.table_version: List[int] = []
+
+    def intern(self, pairs: Tuple[Action, ...]) -> int:
+        """Pool index of ``pairs`` (id-keyed; the pool keeps it alive)."""
+        memo = self._pool_memo
+        idx = memo.get(id(pairs))
+        if idx is None:
+            idx = len(self.pool)
+            self.pool.append(pairs)
+            memo[id(pairs)] = idx
+        return idx
+
+    def append(
+        self,
+        pairs: Tuple[Action, ...],
+        action: Action,
+        act_pos: int,
+        explored: Optional[bool],
+        te: float,
+        tf: float,
+        next_pairs: Tuple[Action, ...],
+        n_finished: int,
+        reward: float,
+        q_value: Optional[float],
+        table_version: int,
+    ) -> None:
+        self.pairs_idx.append(self.intern(pairs))
+        self.next_idx.append(self.intern(next_pairs))
+        self.act_pos.append(act_pos)
+        self.act_a.append(action[0])
+        self.act_v.append(action[1])
+        self.explored.append(
+            -1 if explored is None else (1 if explored else 0)
+        )
+        self.te.append(te)
+        self.tf.append(tf)
+        self.n_finished.append(n_finished)
+        self.reward.append(reward)
+        self.q_value.append(math.nan if q_value is None else q_value)
+        self.table_version.append(table_version)
+
+
+class EpisodeTrace:
+    """One rollout actor's episode: columnar decisions plus outcome.
+
+    The decision stream is stored as parallel numpy arrays over a small
+    pool of distinct action-pair tuples (see :class:`TraceBuilder`), so
+    shipping a trace through the process pool serializes one buffer per
+    column instead of one object per step.  ``base_version`` is the
+    Q-table version of the snapshot the actor started from; the learner
+    compares it against the true table's version at consume time to
+    decide between direct application and validated replay.
+    ``post_state`` optionally carries the actor's complete post-episode
+    learner state (shipped only for episodes whose base is guaranteed
+    exact).  ``assignment`` carries the completion-ordered
+    ``{activation_id: vm_id}`` map for episodes recorded without full
+    :class:`~repro.sim.metrics.ActivationRecord` lists (the lite mode —
+    only the run's final episode needs records, for plan extraction).
+    """
+
+    __slots__ = (
+        "episode", "seed", "actor", "base_version", "makespan",
+        "final_state", "records", "assignment", "steps_count",
+        "reward_sum", "final_reward", "post_state", "pool", "pairs_idx",
+        "next_idx", "act_pos", "act_a", "act_v", "explored", "te", "tf",
+        "n_finished", "reward", "q_value", "table_version",
+        "_steps_cache",
+    )
+
+    def __init__(
+        self,
+        episode: int,
+        seed: int,
+        actor: int,
+        base_version: int,
+        steps: Union[TraceBuilder, Sequence[DecisionStep]],
+        makespan: float,
+        final_state: str,
+        records: Optional[List[ActivationRecord]] = None,
+        assignment: Optional[Dict[int, int]] = None,
+        steps_count: int = 0,
+        reward_sum: float = 0.0,
+        final_reward: float = 0.0,
+        post_state: Optional[Any] = None,
+    ) -> None:
+        self.episode = episode
+        self.seed = seed
+        self.actor = actor
+        self.base_version = base_version
+        self.makespan = makespan
+        self.final_state = final_state
+        self.records: List[ActivationRecord] = (
+            [] if records is None else records
+        )
+        self.assignment = assignment
+        self.steps_count = steps_count
+        self.reward_sum = reward_sum
+        self.final_reward = final_reward
+        self.post_state = post_state
+        self._steps_cache: Optional[List[DecisionStep]] = None
+        if not isinstance(steps, TraceBuilder):
+            builder = TraceBuilder()
+            for s in steps:
+                builder.append(
+                    s.pairs, s.action, -1, s.explored, s.te, s.tf,
+                    s.next_pairs, s.n_finished, s.reward, s.q_value,
+                    s.table_version,
+                )
+            steps = builder
+        self.pool = steps.pool
+        self.pairs_idx = np.asarray(steps.pairs_idx, dtype=np.int32)
+        self.next_idx = np.asarray(steps.next_idx, dtype=np.int32)
+        self.act_pos = np.asarray(steps.act_pos, dtype=np.int32)
+        self.act_a = np.asarray(steps.act_a, dtype=np.int64)
+        self.act_v = np.asarray(steps.act_v, dtype=np.int64)
+        self.explored = np.asarray(steps.explored, dtype=np.int8)
+        self.te = np.asarray(steps.te, dtype=np.float64)
+        self.tf = np.asarray(steps.tf, dtype=np.float64)
+        self.n_finished = np.asarray(steps.n_finished, dtype=np.int64)
+        self.reward = np.asarray(steps.reward, dtype=np.float64)
+        self.q_value = np.asarray(steps.q_value, dtype=np.float64)
+        self.table_version = np.asarray(
+            steps.table_version, dtype=np.int64
+        )
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.pairs_idx.shape[0])
+
+    @property
+    def steps(self) -> List[DecisionStep]:
+        """Materialized per-step views (generic replay path, tests)."""
+        cached = self._steps_cache
+        if cached is not None:
+            return cached
+        pool = self.pool
+        out: List[DecisionStep] = []
+        for i in range(self.n_steps):
+            explored_code = int(self.explored[i])
+            q_raw = float(self.q_value[i])
+            out.append(
+                DecisionStep(
+                    pairs=pool[int(self.pairs_idx[i])],
+                    action=(int(self.act_a[i]), int(self.act_v[i])),
+                    explored=(
+                        None if explored_code < 0 else bool(explored_code)
+                    ),
+                    te=float(self.te[i]),
+                    tf=float(self.tf[i]),
+                    next_pairs=pool[int(self.next_idx[i])],
+                    n_finished=int(self.n_finished[i]),
+                    reward=float(self.reward[i]),
+                    q_value=None if math.isnan(q_raw) else q_raw,
+                    table_version=int(self.table_version[i]),
+                )
+            )
+        self._steps_cache = out
+        return out
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # drop the lazily materialized view list from pool transport
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_steps_cache"
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._steps_cache = None
 
 
 class ReplayContext:

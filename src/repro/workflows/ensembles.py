@@ -166,19 +166,20 @@ def _learn_member_batch(payload, seed: int) -> List[EnsembleMemberResult]:
 def _learn_member_distributed(payload, seed: int) -> EnsembleMemberResult:
     """Learn one member through the distributed actor/learner engine.
 
-    Bit-identical to :func:`_learn_member` at any actor count (see
-    :func:`repro.core.distributed.learn_distributed`); the parallelism
-    lives inside the run, so campaigns using it stay at ``workers=1``.
+    Bit-identical to :func:`_learn_member` at any ``(actors, batch)``
+    combination (see :func:`repro.core.distributed.learn_distributed`);
+    the parallelism lives inside the run, so campaigns using it stay at
+    ``workers=1``.
     """
     from repro.core.distributed import learn_distributed
     from repro.core.reassign import ReassignParams
     from repro.experiments.environments import fleet_for
 
-    member, n_activations, vcpus, episodes, actors = payload
+    member, n_activations, vcpus, episodes, actors, batch = payload
     wf = montage(n_activations, seed=seed)
     params = ReassignParams(alpha=0.5, gamma=1.0, epsilon=0.1, episodes=episodes)
     result = learn_distributed(
-        wf, fleet_for(vcpus), params, seed=seed, n_actors=actors
+        wf, fleet_for(vcpus), params, seed=seed, n_actors=actors, batch=batch
     )
     return EnsembleMemberResult(
         member=member,
@@ -217,24 +218,33 @@ def run_ensemble_campaign(
     for the historical one-member-per-task path.
 
     ``actors > 1`` learns each member through the distributed
-    actor/learner engine instead (bit-identical results; mutually
-    exclusive with ``batch > 1``, and meant for ``workers=1``).
+    actor/learner engine instead (bit-identical results, meant for
+    ``workers=1``); ``batch`` then composes with it as the number of
+    chained episodes each actor speculates per wave chunk rather than
+    the lockstep pack size.
     """
     if n_instances < 1:
         raise ValidationError("n_instances must be >= 1")
     if actors < 1:
         raise ValidationError(f"actors must be >= 1, got {actors}")
-    if actors > 1 and batch > 1:
-        raise ValidationError(
-            "actors > 1 and batch > 1 are mutually exclusive: pick the "
-            "distributed actor/learner engine or the batched lockstep engine"
-        )
+    if batch < 1:
+        raise ValidationError(f"batch must be >= 1, got {batch}")
     runner = ParallelRunner(
         workers=workers,
         run_id=f"ensemble:{n_instances}x{n_activations}:{vcpus}",
         seed=seed,
         progress=progress,
     )
+    if actors > 1:
+        tasks = [
+            Task(
+                key=("member", k),
+                fn=_learn_member_distributed,
+                payload=(k, n_activations, vcpus, episodes, actors, batch),
+            )
+            for k in range(n_instances)
+        ]
+        return [r.value for r in runner.run(tasks)]
     if batch > 1:
         members = [
             (k, n_activations, vcpus, episodes,
@@ -254,24 +264,14 @@ def run_ensemble_campaign(
             for r in runner.run(tasks)
             for member_result in r.value
         ]
-    if actors > 1:
-        tasks = [
-            Task(
-                key=("member", k),
-                fn=_learn_member_distributed,
-                payload=(k, n_activations, vcpus, episodes, actors),
-            )
-            for k in range(n_instances)
-        ]
-    else:
-        tasks = [
-            Task(
-                key=("member", k),
-                fn=_learn_member,
-                payload=(k, n_activations, vcpus, episodes),
-            )
-            for k in range(n_instances)
-        ]
+    tasks = [
+        Task(
+            key=("member", k),
+            fn=_learn_member,
+            payload=(k, n_activations, vcpus, episodes),
+        )
+        for k in range(n_instances)
+    ]
     return [r.value for r in runner.run(tasks)]
 
 

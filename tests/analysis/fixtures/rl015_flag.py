@@ -1,0 +1,42 @@
+"""RL015 fixture: per-step Python loops over trace step arrays (flagged)."""
+
+
+def per_step_column(trace):
+    total = 0.0
+    for r in trace.reward:  # clean: "reward" is too generic to track
+        total += r
+    for v in trace.act_v:  # flagged: iterates a step column
+        total += v
+    return total
+
+
+def per_step_range_n_steps(trace):
+    out = []
+    for i in range(trace.n_steps):  # flagged: range over the step count
+        out.append(trace.te[i] - trace.tf[i])
+    return out
+
+
+def per_step_aliased_count(trace):
+    pairs_idx = trace.pairs_idx
+    n = int(pairs_idx.shape[0])
+    acc = 0
+    for i in range(n):  # flagged: count derived from a step column
+        acc += pairs_idx[i]
+    return acc
+
+
+def per_step_len_alias(trace):
+    col = trace.act_a
+    return [col[i] for i in range(len(col))]  # flagged: len() of a column
+
+
+def per_step_materialized(trace):
+    return [step.action for step in trace.steps]  # flagged: trace.steps
+
+
+def per_step_zip(trace):
+    return [
+        te - tf
+        for te, tf in zip(trace.te, trace.tf)  # flagged: zip over columns
+    ]

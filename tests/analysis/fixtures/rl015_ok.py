@@ -1,0 +1,35 @@
+"""RL015 fixture twin: vectorized column reads and unrelated loops (clean)."""
+
+import numpy as np
+
+
+def trace_summary(trace):
+    # the whole point: whole-column numpy expressions, no step loop
+    return {
+        "total_overhead": float((trace.tf - trace.te).sum()),
+        "explored_steps": int(np.count_nonzero(trace.explored)),
+        "max_vm": int(trace.act_v.max()) if trace.n_steps else -1,
+    }
+
+
+def per_vm_scan(vms):
+    # looping other (small, non-step) axes is fine
+    return [vm for vm in vms if vm.idle]
+
+
+def plain_range(n):
+    return [i * i for i in range(n)]
+
+
+def local_names_are_not_columns(items):
+    # locals merely *named* like columns are not step-array reads
+    act_v = [item.value for item in items]
+    return [v + 1 for v in act_v]
+
+
+def sanctioned_sequential_scan(trace, rng_random):
+    # order-sensitive draws may opt out explicitly, with a reason
+    draws = []
+    for _ in range(trace.n_steps):  # reprolint: disable=RL015  (draws are sequential)
+        draws.append(rng_random())
+    return draws

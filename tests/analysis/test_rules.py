@@ -30,6 +30,7 @@ CASES = {
     "RL006": ("src/repro/workflows/fixture.py", 3),
     "RL007": ("src/repro/schedulers/fixture.py", 2),
     "RL014": ("src/repro/sim/fixture.py", 5),
+    "RL015": ("src/repro/rl/fixture.py", 6),
 }
 
 

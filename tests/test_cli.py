@@ -112,10 +112,12 @@ class TestActorsFlag:
                 main(["learn", "--actors", bad])
             assert "actors must be" in capsys.readouterr().err
 
-    def test_actors_and_batch_mutually_exclusive(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["learn", "--actors", "2", "--batch", "4"])
-        assert "--batch" in capsys.readouterr().err
+    def test_actors_and_batch_compose(self, capsys):
+        rc = main(["learn", "--size", "15", "--episodes", "4",
+                   "--actors", "2", "--batch", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batch=2" in out
 
     def test_actors_and_workers_mutually_exclusive(self, capsys):
         for cmd in ("sweep", "ensemble"):
@@ -142,6 +144,20 @@ class TestActorsFlag:
         ]
         assert pick(actors_out) == pick(serial_out)
         assert "mode=" in actors_out
+
+    def test_learn_with_actors_and_batch_matches_serial(self, capsys):
+        argv = ["learn", "--size", "15", "--episodes", "6", "--seed", "5"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--actors", "2", "--batch", "3"]) == 0
+        pair_out = capsys.readouterr().out
+        pick = lambda text: [  # noqa: E731 - tiny local filter
+            line for line in text.splitlines()
+            if line.startswith(("first episode", "best episode",
+                                "plan makespan"))
+        ]
+        assert pick(pair_out) == pick(serial_out)
+        assert "batch=3" in pair_out
 
 
 class TestReproduceCommand:

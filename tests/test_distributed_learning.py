@@ -7,7 +7,9 @@ PR-level contract is byte-equality against ``ReassignLearner.learn()``
 at **any** actor count:
 
 - directed tests sweep actor counts over N ∈ {1, 2, 4, 7} in inline
-  mode and N ∈ {2, 3} through the real process pool;
+  mode, the full (N, B) ∈ {1, 2, 4} × {1, 2, 8} actor × wave-chunk
+  grid, and N ∈ {2, 3} through the real process pool (batched and
+  not);
 - the generic (non-fused) replay path is covered for SARSA, Double-Q,
   bucketed states and the dict backend, and the fused path for the
   array and shard backends;
@@ -17,7 +19,11 @@ at **any** actor count:
   serial and demands identical ``LearningResult.to_json()``;
 - the versioned-snapshot primitives the engine rides on
   (``QTable.snapshot``/``restore``/``version``/pickling) are pinned
-  directly, including init-stream fidelity across a restore.
+  directly, including init-stream fidelity across a restore, and the
+  delta-snapshot transport (``snapshot(since=...)`` + patch-in-place
+  restore) gets golden round-trip vectors — including the shard
+  backend with memmap spill — plus a Hypothesis property demanding
+  ``restore(full)`` ≡ ``restore(base) + patch(delta)``.
 
 Everything runs ``timing="simulated"`` so the learning time is the
 deterministic simulated clock and ``to_json()`` equality is exact.
@@ -82,6 +88,36 @@ class TestDistributedVsSerial:
         assert stats["n_actors"] == n_actors
         assert stats["episodes"] == 10
 
+    @pytest.mark.parametrize("batch", [1, 2, 8])
+    @pytest.mark.parametrize("n_actors", [1, 2, 4])
+    def test_actor_batch_grid_bitwise_identical(self, n_actors, batch):
+        """The full (N, B) wave-geometry grid, inline engine."""
+        wf = montage(20, seed=1)
+        fleet = fleet_for(16)
+        params = _params(episodes=10)
+        expected = _serial(wf, fleet, params, seed=7).to_json()
+        stats = {}
+        got = _distributed(
+            wf, fleet, params, seed=7, n_actors=n_actors, batch=batch,
+            mode="inline", stats_out=stats,
+        )
+        assert got.to_json() == expected
+        assert stats["batch"] == batch
+
+    @pytest.mark.parametrize("batch", [1, 2, 8])
+    @pytest.mark.parametrize("n_actors", [1, 2, 4])
+    def test_actor_batch_grid_validate_exact(self, n_actors, batch):
+        """Same grid through the audited speculation machinery."""
+        wf = montage(15, seed=1)
+        fleet = fleet_for(16)
+        params = _params(episodes=9)
+        expected = _serial(wf, fleet, params, seed=4).to_json()
+        got = _distributed(
+            wf, fleet, params, seed=4, n_actors=n_actors, batch=batch,
+            mode="inline", validate_exact=True,
+        )
+        assert got.to_json() == expected
+
     @pytest.mark.parametrize("n_actors", [2, 3])
     def test_pool_mode_bitwise_identical(self, n_actors):
         wf = montage(15, seed=1)
@@ -95,6 +131,19 @@ class TestDistributedVsSerial:
         )
         assert got.to_json() == expected
         assert stats["mode"] == "pool"
+
+    @pytest.mark.parametrize("batch", [2, 8])
+    def test_pool_mode_batched_bitwise_identical(self, batch):
+        """Chunked waves through the real process pool (delta bases)."""
+        wf = montage(15, seed=1)
+        fleet = fleet_for(16)
+        params = _params(episodes=6)
+        expected = _serial(wf, fleet, params, seed=3).to_json()
+        got = _distributed(
+            wf, fleet, params, seed=3, n_actors=2, batch=batch,
+            mode="pool",
+        )
+        assert got.to_json() == expected
 
     @pytest.mark.parametrize(
         "extra",
@@ -116,18 +165,20 @@ class TestDistributedVsSerial:
         )
         assert got.to_json() == expected
 
+    @pytest.mark.parametrize("batch", [1, 4])
     @pytest.mark.parametrize("mode", ["inline", "pool"])
-    def test_shard_backend_bitwise_identical(self, mode):
+    def test_shard_backend_bitwise_identical(self, mode, batch):
         wf = montage(15, seed=2)
         fleet = fleet_for(16)
         params = _params(episodes=5, qtable_backend="shard")
         expected = _serial(wf, fleet, params, seed=5).to_json()
         got = _distributed(
-            wf, fleet, params, seed=5, n_actors=2, mode=mode
+            wf, fleet, params, seed=5, n_actors=2, batch=batch, mode=mode
         )
         assert got.to_json() == expected
 
-    def test_failures_and_retries_bitwise_identical(self):
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_failures_and_retries_bitwise_identical(self, batch):
         wf = montage(15, seed=3)
         fleet = fleet_for(16)
         params = _params(episodes=6)
@@ -136,8 +187,8 @@ class TestDistributedVsSerial:
             wf, fleet, params, seed=11, failures=failures, max_attempts=2
         ).to_json()
         got = _distributed(
-            wf, fleet, params, seed=11, n_actors=3, mode="inline",
-            failures=failures, max_attempts=2,
+            wf, fleet, params, seed=11, n_actors=3, batch=batch,
+            mode="inline", failures=failures, max_attempts=2,
         )
         assert got.to_json() == expected
 
@@ -182,14 +233,18 @@ class TestDistributedVsSerial:
         assert 1 <= stats["final_width"] <= 4
 
     @settings(max_examples=8, deadline=None)
-    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
-    def test_random_dags_bitwise_identical(self, seed):
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        batch=st.sampled_from([1, 2, 5]),
+    )
+    def test_random_dags_bitwise_identical(self, seed, batch):
         wf = random_dag(seed, n_min=4, n_max=8)
         fleet = fleet_for(16)
         params = _params(episodes=3, alpha=0.5, epsilon=0.3)
         expected = _serial(wf, fleet, params, seed=seed).to_json()
         got = _distributed(
-            wf, fleet, params, seed=seed, n_actors=3, mode="inline"
+            wf, fleet, params, seed=seed, n_actors=3, batch=batch,
+            mode="inline",
         )
         assert got.to_json() == expected
 
@@ -314,6 +369,152 @@ class TestQTableSnapshots:
         assert clone._id_memo == {}
         # the clone's init stream continues where the original's would
         assert clone.value("sX", (5, 5)) == table.value("sX", (5, 5))
+
+
+class TestDeltaSnapshots:
+    """``snapshot(since=K)`` + patch-in-place ``restore``.
+
+    The transport the pool-mode engine ships wave bases and post-chunk
+    states over: only rows whose write-era is >= K travel, and a patch
+    only applies to a table sitting exactly at version K.
+    """
+
+    @staticmethod
+    def _seeded(backend, **kw):
+        """A table with two version eras of hand-pinned writes."""
+        table = QTable(seed=13, init_scale=0.0, backend=backend, **kw)
+        table.set("s0", (0, 1), 1.25)
+        table.set("s1", (1, 0), -2.5)
+        table.set("s2", (0, 0), 0.75)
+        table.bump_version()
+        return table
+
+    @staticmethod
+    def _advance(table):
+        """Era-2 writes: one row updated, one row brand new."""
+        table.set("s1", (1, 0), 4.5)
+        table.set("s3", (2, 1), 9.0)
+        table.bump_version()
+
+    @pytest.mark.parametrize("backend", ["array", "shard"])
+    def test_golden_roundtrip_vectors(self, backend):
+        table = self._seeded(backend)
+        base = table.snapshot()
+        self._advance(table)
+        full = table.snapshot()
+        delta = table.snapshot(since=base.version)
+        assert delta.base_version == base.version == 1
+        assert full.base_version is None
+
+        via_full = QTable(seed=13, init_scale=0.0, backend=backend)
+        via_full.restore(full)
+        via_patch = QTable(seed=13, init_scale=0.0, backend=backend)
+        via_patch.restore(base)
+        via_patch.restore(delta)
+        assert via_patch.to_json() == via_full.to_json() == table.to_json()
+        assert via_patch.version == table.version == 2
+        # the hand-pinned vectors survive the patch byte for byte
+        assert via_patch.value("s0", (0, 1)) == 1.25
+        assert via_patch.value("s1", (1, 0)) == 4.5
+        assert via_patch.value("s2", (0, 0)) == 0.75
+        assert via_patch.value("s3", (2, 1)) == 9.0
+
+    def test_golden_roundtrip_shard_memmap_spill(self, tmp_path):
+        """Same vectors with 2-row shards spilled to numpy.memmap."""
+        table = self._seeded(
+            "shard", shard_rows=2, shard_dir=tmp_path / "shards"
+        )
+        base = table.snapshot()
+        self._advance(table)
+        expected = table.to_json()
+        delta = table.snapshot(since=base.version)
+
+        clone = QTable(
+            seed=13, init_scale=0.0, backend="shard", shard_rows=2,
+            shard_dir=tmp_path / "clone-shards",
+        )
+        clone.restore(base)
+        clone.restore(delta)
+        assert clone.to_json() == expected
+        assert clone.value("s1", (1, 0)) == 4.5
+        assert clone.value("s3", (2, 1)) == 9.0
+        # the source table's spill actually happened (a full restore
+        # rehydrates the clone's store in memory — snapshot payloads
+        # are plain arrays — so only the source side stays mapped)
+        assert table._store.memmapped
+
+    def test_delta_ships_only_touched_rows(self):
+        table = self._seeded("array")
+        self._advance(table)
+        delta = table.snapshot(since=1)
+        rows = delta.payload[0]
+        # era-2 touched s1 (id 1) and s3 (id 3); s0/s2 stay home
+        assert list(rows) == [1, 3]
+
+    def test_patch_refuses_wrong_base(self):
+        table = self._seeded("array")
+        self._advance(table)
+        delta = table.snapshot(since=2)
+        fresh = QTable(seed=13, init_scale=0.0, backend="array")
+        with pytest.raises(ValidationError):
+            fresh.restore(delta)  # fresh is at version 0, not 2
+
+    def test_since_validates_range(self):
+        table = self._seeded("array")
+        with pytest.raises(ValidationError):
+            table.snapshot(since=-1)
+        with pytest.raises(ValidationError):
+            table.snapshot(since=table.version + 1)
+
+    def test_dict_backend_falls_back_to_full(self):
+        table = QTable(seed=2, backend="dict")
+        table.set("s", (0, 0), 3.0)
+        table.bump_version()
+        snap = table.snapshot(since=1)
+        assert snap.base_version is None  # a full snapshot
+        fresh = QTable(seed=2, backend="dict")
+        fresh.restore(snap)
+        assert fresh.to_json() == table.to_json()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.data(),
+        backend=st.sampled_from(["array", "shard"]),
+    )
+    def test_restore_full_equals_base_plus_patch(self, data, backend):
+        """restore(full) ≡ restore(base) + patch(delta), any history."""
+        write = st.tuples(
+            st.integers(min_value=0, max_value=5),   # state index
+            st.integers(min_value=0, max_value=3),   # action index
+            st.floats(
+                min_value=-10, max_value=10,
+                allow_nan=False, allow_subnormal=False,
+            ),
+        )
+        era1 = data.draw(st.lists(write, max_size=8), label="era1")
+        era2 = data.draw(st.lists(write, max_size=8), label="era2")
+        actions = [(a, a + 1) for a in range(4)]
+
+        table = QTable(seed=5, init_scale=1e-3, backend=backend)
+        for s, a, v in era1:
+            table.set(f"s{s}", actions[a], v)
+        table.bump_version()
+        base = table.snapshot()
+        for s, a, v in era2:
+            table.set(f"s{s}", actions[a], v)
+        table.bump_version()
+        full = table.snapshot()
+        delta = table.snapshot(since=base.version)
+
+        via_full = QTable(seed=5, init_scale=1e-3, backend=backend)
+        via_full.restore(full)
+        via_patch = QTable(seed=5, init_scale=1e-3, backend=backend)
+        via_patch.restore(base)
+        via_patch.restore(delta)
+        assert via_patch.to_json() == via_full.to_json()
+        assert via_patch.version == via_full.version
+        # the init stream continues identically after either route
+        assert via_patch.value("sX", (9, 9)) == via_full.value("sX", (9, 9))
 
 
 def test_stats_are_json_serializable():
